@@ -1,0 +1,77 @@
+"""Ablation: Expansion I vs Expansion II (Section 3.2's discussion).
+
+The paper argues Expansion I is faster (partial sums forwarded immediately,
+``d̄₃`` uniform so the schedule need not wait for final bits) and more
+computationally uniform (at most three summands except at ``j_n = u_n``,
+versus four-five on Expansion II's ``i₁ = p`` hyperplane).  This ablation
+quantifies both:
+
+* best achievable linear-schedule length for each expansion's structure;
+* the summand-count distribution over all index points (load balance);
+* evaluator throughput under each expansion.
+"""
+
+import pytest
+
+from repro.expansion.semantics import BitLevelEvaluator
+from repro.expansion.theorem31 import bit_level_from_vectors
+from repro.experiments.tables import format_table
+from repro.mapping.schedule import find_optimal_schedule
+
+
+def summand_histogram(p: int, expansion: str, n_iter: int = 6) -> dict[int, int]:
+    """Histogram of per-point summand counts over a full accumulation."""
+    ev = BitLevelEvaluator(p, expansion)
+    xs = [(3 * k + 1) % (1 << p) for k in range(n_iter)]
+    ys = [(5 * k + 2) % (1 << p) for k in range(n_iter)]
+    ev.accumulate(xs, ys)
+    return dict(ev.summand_histogram)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    rows = []
+    for exp in ("I", "II"):
+        alg = bit_level_from_vectors([1], [1], [1], [1], [4], 3, exp)
+        best = find_optimal_schedule(alg, {"u": 4, "p": 3}, coeff_bound=2)
+        hist = summand_histogram(3, exp)
+        heavy = sum(v for k, v in hist.items() if k >= 4)
+        total = sum(hist.values())
+        rows.append(
+            (exp, best[1] if best else "-", str(best[0]) if best else "-",
+             f"{heavy}/{total}", max(hist))
+        )
+    text = format_table(
+        ["expansion", "best schedule length", "Π*",
+         "points with >=4 summands", "max summands"],
+        rows,
+        title="Ablation: Expansion I vs II (1-D model, u=4, p=3)",
+    )
+    report_writer("ablation-expansions", text)
+
+
+@pytest.mark.parametrize("expansion", ["I", "II"])
+def test_bench_optimal_schedule(benchmark, expansion):
+    alg = bit_level_from_vectors([1], [1], [1], [1], [4], 3, expansion)
+    best = benchmark(find_optimal_schedule, alg, {"u": 4, "p": 3}, 2)
+    assert best is not None
+
+
+@pytest.mark.parametrize("expansion", ["I", "II"])
+def test_bench_evaluator(benchmark, expansion):
+    ev = BitLevelEvaluator(5, expansion)
+    xs = list(range(1, 11))
+    ys = list(range(11, 1, -1))
+    benchmark(ev.accumulate, xs, ys)
+
+
+def test_expansion1_schedules_no_worse(report_writer):
+    """Expansion I's structure admits a schedule at least as fast as II's."""
+    results = {}
+    for exp in ("I", "II"):
+        alg = bit_level_from_vectors([1], [1], [1], [1], [4], 3, exp)
+        best = find_optimal_schedule(alg, {"u": 4, "p": 3}, coeff_bound=2)
+        assert best is not None
+        results[exp] = best[1]
+    assert results["I"] <= results["II"]

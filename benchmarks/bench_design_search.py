@@ -1,0 +1,60 @@
+"""Benchmark: the design-space search of [5, 6, 10].
+
+Times the joint (S, Π) search that produced designs like the paper's
+Fig. 4, and reports the best designs found for the bit-level matmul
+structure -- including ones the paper does not list (same optimal time,
+fewer processors at small sizes).
+"""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.experiments.tables import format_table
+from repro.ir.builders import matmul_word_structure
+from repro.mapping import designs
+from repro.mapping.lowerdim import search_designs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    u, p = 2, 2
+    alg = matmul_bit_level(u, p, "II")
+    cands = search_designs(
+        alg, {"u": u, "p": p}, designs.fig4_primitives(p),
+        target_space_dim=2, block_values=[p], schedule_bound=2,
+        max_candidates=5,
+    )
+    rows = [
+        (i + 1, c.time, c.processors,
+         "; ".join(str(list(r)) for r in c.mapping.rows))
+        for i, c in enumerate(cands)
+    ]
+    rows.append(
+        ("Fig4", designs.t_fig4(u, p), designs.fig4_processor_count(u, p),
+         "; ".join(str(list(r)) for r in designs.fig4_mapping(p).rows))
+    )
+    text = format_table(
+        ["rank", "time", "PEs", "T = [S; Π]"],
+        rows,
+        title=f"Design-space search, bit-level matmul (u={u}, p={p})",
+    )
+    report_writer("design-search", text)
+
+
+def test_bench_search_word_level(benchmark):
+    alg = matmul_word_structure()
+    cands = benchmark(
+        search_designs, alg, {"u": 3}, None, 2, (), 1, 3
+    )
+    assert cands and cands[0].time == 7
+
+
+def test_bench_search_bit_level(benchmark):
+    alg = matmul_bit_level(2, 2, "II")
+    cands = benchmark(
+        search_designs, alg, {"u": 2, "p": 2},
+        designs.fig4_primitives(2), 2, [2], 2, 2,
+    )
+    assert cands
+    assert cands[0].time <= designs.t_fig4(2, 2)

@@ -1,0 +1,46 @@
+"""E1 benchmarks -- Fig. 1 / eqs. (3.1)-(3.4): the add-shift multiplier.
+
+Times the lattice evaluator and the general dependence analysis that
+recovers ``D_as``, and regenerates the E1 report.
+"""
+
+import pytest
+
+from repro.arith.addshift import AddShiftMultiplier
+from repro.depanalysis import analyze
+from repro.experiments import e1_addshift
+from repro.ir.builders import addshift_pipelined
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E1-fig1-addshift", e1_addshift.report())
+
+
+def test_bench_addshift_multiply_p8(benchmark):
+    mult = AddShiftMultiplier(8)
+    result = benchmark(mult.multiply, 173, 219)
+    assert result == 173 * 219
+
+
+def test_bench_addshift_multiply_p16(benchmark):
+    mult = AddShiftMultiplier(16)
+    result = benchmark(mult.multiply, 51234, 60001)
+    assert result == 51234 * 60001
+
+
+def test_bench_analyze_addshift_program(benchmark):
+    prog = addshift_pipelined(6)
+
+    def run():
+        return analyze(prog, {"p": 6}, method="exact")
+
+    result = benchmark(run)
+    assert set(result.distinct_vectors()) == {(1, 0), (0, 1), (1, -1)}
+
+
+def test_bench_analyze_addshift_enumerate(benchmark):
+    prog = addshift_pipelined(6)
+    result = benchmark(analyze, prog, {"p": 6}, "enumerate")
+    assert len(result.distinct_vectors()) == 3

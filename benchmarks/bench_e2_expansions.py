@@ -1,0 +1,44 @@
+"""E2 benchmarks -- Fig. 3 / eqs. (3.8)-(3.9): expansions of the 1-D model.
+
+Times the compositional derivation, the cross-validation, and the functional
+evaluators under both expansions; regenerates the E2 report.
+"""
+
+import pytest
+
+from repro.expansion.semantics import BitLevelEvaluator
+from repro.expansion.theorem31 import bit_level_from_vectors
+from repro.expansion.verify import verify_theorem31
+from repro.experiments import e2_expansions
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E2-fig3-expansions", e2_expansions.report())
+
+
+@pytest.mark.parametrize("expansion", ["I", "II"])
+def test_bench_compose_1d(benchmark, expansion):
+    alg = benchmark(
+        bit_level_from_vectors, [1], [1], [1], [1], [16], 8, expansion
+    )
+    assert alg.dim == 3
+
+
+@pytest.mark.parametrize("expansion", ["I", "II"])
+def test_bench_verify_1d(benchmark, expansion):
+    rep = benchmark(
+        verify_theorem31, [1], [1], [1], [1], [3], 3, expansion
+    )
+    assert rep.matches
+
+
+@pytest.mark.parametrize("expansion", ["I", "II"])
+def test_bench_evaluator_stream(benchmark, expansion):
+    ev = BitLevelEvaluator(6, expansion)
+    xs = list(range(1, 17))
+    ys = list(range(17, 1, -1))
+    mask = (1 << 11) - 1
+    result = benchmark(ev.accumulate, xs, ys)
+    assert result == sum(a * b for a, b in zip(xs, ys)) & mask

@@ -1,0 +1,35 @@
+"""E3 benchmarks -- eqs. (3.12)/(3.13): the bit-level matmul structure.
+
+Times the compositional derivation of the 5-D structure (symbolic and
+concrete) and regenerates the E3 report.
+"""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.experiments import e3_matmul_structure
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E3-eq312-matmul-structure", e3_matmul_structure.report())
+
+
+def test_bench_symbolic_derivation(benchmark):
+    alg = benchmark(matmul_bit_level)
+    assert len(alg.dependences) == 7
+
+
+@pytest.mark.parametrize("expansion", ["I", "II"])
+def test_bench_concrete_derivation(benchmark, expansion):
+    alg = benchmark(matmul_bit_level, 64, 32, expansion)
+    assert alg.index_set.size({"u": 64, "p": 32}) == 64**3 * 32**2
+
+
+def test_bench_effective_edges_small(benchmark):
+    from repro.expansion.verify import effective_edges
+
+    alg = matmul_bit_level(2, 2)
+    edges = benchmark(effective_edges, alg, {"u": 2, "p": 2})
+    assert edges

@@ -1,0 +1,61 @@
+"""E4 benchmarks -- Fig. 4 / eqs. (4.2)-(4.5): the time-optimal design.
+
+Times feasibility checking, conflict detection, optimal-schedule search and
+full machine execution on the Fig. 4 array; regenerates the E4 report.
+"""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.experiments import e4_fig4
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.mapping import check_feasibility, designs
+from repro.mapping.conflicts import is_conflict_free
+from repro.mapping.schedule import find_optimal_schedule
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E4-fig4-time-optimal-design", e4_fig4.report())
+
+
+U, P = 3, 3
+BINDING = {"u": U, "p": P}
+
+
+@pytest.fixture(scope="module")
+def alg():
+    return matmul_bit_level(U, P, "II")
+
+
+def test_bench_feasibility_check(benchmark, alg):
+    rep = benchmark(
+        check_feasibility,
+        designs.fig4_mapping(P),
+        alg,
+        BINDING,
+        designs.fig4_primitives(P),
+    )
+    assert rep.feasible
+
+
+def test_bench_conflict_check(benchmark, alg):
+    ok = benchmark(
+        is_conflict_free, designs.fig4_mapping(P), alg.index_set, BINDING
+    )
+    assert ok
+
+
+def test_bench_optimal_schedule_search(benchmark, alg):
+    best = benchmark(find_optimal_schedule, alg, BINDING, 2)
+    assert best is not None and best[1] == designs.t_fig4(U, P)
+
+
+def test_bench_machine_run(benchmark):
+    machine = BitLevelMatmulMachine(U, P, designs.fig4_mapping(P), "II")
+    x = [[(i * 3 + j) % 8 for j in range(U)] for i in range(U)]
+    y = [[(i + 2 * j + 1) % 8 for j in range(U)] for i in range(U)]
+
+    out = benchmark(machine.run, x, y)
+    assert out.sim.makespan == designs.t_fig4(U, P)

@@ -1,0 +1,57 @@
+"""E5 benchmarks -- Fig. 5 / eqs. (4.6)-(4.8): the nearest-neighbour design.
+
+Times feasibility and machine execution on the Fig. 5 array; regenerates the
+E5 report (including the eq. (4.8) reproduction note).
+"""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.experiments import e5_fig5
+from repro.machine.array import SystolicArray
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.mapping import check_feasibility, designs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E5-fig5-nearest-neighbour-design", e5_fig5.report())
+
+
+U, P = 3, 3
+BINDING = {"u": U, "p": P}
+
+
+@pytest.fixture(scope="module")
+def alg():
+    return matmul_bit_level(U, P, "II")
+
+
+def test_bench_feasibility_check(benchmark, alg):
+    rep = benchmark(
+        check_feasibility,
+        designs.fig5_mapping(P),
+        alg,
+        BINDING,
+        designs.fig5_primitives(),
+    )
+    assert rep.feasible
+
+
+def test_bench_array_construction(benchmark, alg):
+    rep = check_feasibility(
+        designs.fig5_mapping(P), alg, BINDING, designs.fig5_primitives()
+    )
+
+    arr = benchmark(SystolicArray, designs.fig5_mapping(P), alg, BINDING, rep.interconnect)
+    assert arr.longest_wire == 1
+
+
+def test_bench_machine_run(benchmark):
+    machine = BitLevelMatmulMachine(U, P, designs.fig5_mapping(P), "II")
+    x = [[(i * 3 + j) % 8 for j in range(U)] for i in range(U)]
+    y = [[(i + 2 * j + 1) % 8 for j in range(U)] for i in range(U)]
+
+    out = benchmark(machine.run, x, y)
+    assert out.sim.makespan == designs.t_fig5(U, P)

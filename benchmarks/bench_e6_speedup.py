@@ -1,0 +1,42 @@
+"""E6 benchmarks -- Section 4.2: speedup over the word-level baseline.
+
+Benchmarks both matmul machines on the same workload so that who-wins is
+measured, not just computed from formulas; regenerates the E6 sweep report
+(add-shift speedup ~ O(p²), carry-save ~ O(p)).
+"""
+
+import pytest
+
+from repro.experiments import e6_speedup
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.machine.wordlevel import WordLevelMatmulMachine
+from repro.mapping import designs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E6-speedup", e6_speedup.report())
+
+
+U, P = 3, 4
+X = [[(7 * i + j) % (1 << P) for j in range(U)] for i in range(U)]
+Y = [[(i + 11 * j + 3) % (1 << P) for j in range(U)] for i in range(U)]
+
+
+def test_bench_bit_level_machine(benchmark):
+    machine = BitLevelMatmulMachine(U, P, designs.fig4_mapping(P), "II")
+    out = benchmark(machine.run, X, Y)
+    assert out.sim.makespan == designs.t_fig4(U, P)
+
+
+@pytest.mark.parametrize("arith", ["add-shift", "carry-save"])
+def test_bench_word_level_machine(benchmark, arith):
+    machine = WordLevelMatmulMachine(U, P, arith)
+    out = benchmark(machine.run, X, Y)
+    assert out.total_cycles == designs.word_level_time(U, P, arith)
+
+
+def test_bench_speedup_sweep(benchmark):
+    data = benchmark(e6_speedup.run, 16, (2, 4, 8), (3, 3))
+    assert data["ok"]

@@ -1,0 +1,36 @@
+"""E8 benchmarks -- Section 2: the word-level preprocessing pipeline.
+
+Times single-assignment conversion, broadcast elimination and the analysis
+of the resulting program (2.3); regenerates the E8 report.
+"""
+
+import pytest
+
+from repro.depanalysis import analyze
+from repro.experiments import e8_wordlevel
+from repro.ir.builders import matmul_naive, matmul_pipelined
+from repro.ir.transform import eliminate_broadcasts
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E8-wordlevel-pipeline", e8_wordlevel.report())
+
+
+def test_bench_broadcast_elimination(benchmark):
+    prog = matmul_naive(8)
+    out = benchmark(eliminate_broadcasts, prog)
+    assert len(out.statements) == 3
+
+
+def test_bench_analyze_pipelined(benchmark):
+    prog = matmul_pipelined(5)
+    result = benchmark(analyze, prog, {"u": 5}, "exact")
+    assert len(result.distinct_vectors()) == 3
+
+
+def test_bench_analyze_pipelined_enumerate(benchmark):
+    prog = matmul_pipelined(8)
+    result = benchmark(analyze, prog, {"u": 8}, "enumerate")
+    assert len(result.distinct_vectors()) == 3

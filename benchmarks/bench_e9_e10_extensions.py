@@ -1,0 +1,32 @@
+"""E9/E10 benchmarks -- the extension experiments.
+
+E9: free-schedule lower-bound computation (longest dependence chain) and
+its agreement with eq. (4.5).  E10 is benchmarked in
+``bench_design_search.py``; here we regenerate both reports.
+"""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.experiments import e9_bounds, e10_search
+from repro.mapping.bounds import free_schedule_time, free_schedule_times
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    report_writer("E9-free-schedule-bound", e9_bounds.report())
+    report_writer("E10-design-search", e10_search.report())
+
+
+@pytest.mark.parametrize("u,p", [(2, 2), (3, 3)])
+def test_bench_free_schedule(benchmark, u, p):
+    alg = matmul_bit_level(u, p, "II")
+    t = benchmark(free_schedule_time, alg, {"u": u, "p": p})
+    assert t == 3 * (u - 1) + 3 * (p - 1) + 1
+
+
+def test_bench_asap_times(benchmark):
+    alg = matmul_bit_level(2, 3, "II")
+    times = benchmark(free_schedule_times, alg, {"u": 2, "p": 3})
+    assert min(times.values()) == 0

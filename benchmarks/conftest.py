@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one of the paper's figures/results (see
+DESIGN.md's experiment index).  Besides timing the kernels with
+pytest-benchmark, every module renders its experiment report; reports are
+printed and also written to ``benchmarks/_reports/<id>.txt`` so they survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+
+def emit_report(exp_id: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/_reports/."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Fixture handle for :func:`emit_report`."""
+    return emit_report

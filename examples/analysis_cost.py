@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Why Theorem 3.1 exists: the cost of general dependence analysis.
+
+Derives the *same* bit-level dependence structure two ways --
+
+* the classical way: materialize the expanded bit-level program and run
+  exact Diophantine + in-index-set-verification analysis over it (cost grows
+  with ``u³p²``);
+* the paper's way: compose word-level structure + arithmetic structure +
+  expansion (constant work) --
+
+and prints the wall-clock comparison plus proof that the outputs agree.
+
+Run:  python examples/analysis_cost.py
+"""
+
+import time
+
+from repro.depanalysis import analyze
+from repro.expansion import matmul_bit_level
+from repro.expansion.verify import effective_edges
+from repro.experiments.tables import format_table
+from repro.ir.expand import expand_bit_level
+
+MATMUL = ([0, 1, 0], [1, 0, 0], [0, 0, 1])
+
+
+def main() -> None:
+    rows = []
+    for u, p in [(2, 2), (2, 3), (3, 2), (3, 3)]:
+        h1, h2, h3 = MATMUL
+        program = expand_bit_level(h1, h2, h3, [1, 1, 1], [u, u, u], p, "II")
+
+        t0 = time.perf_counter()
+        result = analyze(program, {"p": p}, method="exact")
+        t_general = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        alg = matmul_bit_level(u, p, "II")
+        t_composed = time.perf_counter() - t0
+
+        # Same answer?
+        predicted = effective_edges(alg, {"u": u, "p": p})
+        observed = {(i.sink, i.vector) for i in result.instances}
+        assert predicted == observed, "the fast path must not change the answer"
+
+        rows.append(
+            (
+                u,
+                p,
+                u**3 * p**2,
+                f"{t_general * 1000:.1f} ms",
+                f"{t_composed * 1e6:.0f} µs",
+                f"{t_general / t_composed:,.0f}x",
+            )
+        )
+
+    print(format_table(
+        ["u", "p", "|J|", "general analysis", "Theorem 3.1", "ratio"],
+        rows,
+        title="Deriving the bit-level matmul dependence structure",
+    ))
+    print(
+        "\nThe compositional derivation also works symbolically "
+        "(u, p left as parameters), which no enumerative analysis can do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Streaming a long accumulation through a fixed-depth bit-level array.
+
+A systolic chip is built once, for a fixed problem size; workloads are not.
+This example takes the paper's Fig. 4 design instantiated for ``u x u``
+word blocks and pushes an accumulation of length ``L > u`` through it in
+``⌈L/u⌉`` passes: the partial ``z`` words stay resident between passes
+(the array's stationary-``z`` property makes that free), and the result is
+bit-exact.  This is the classical locally-parallel/globally-sequential
+partitioning, validated end to end by the machine.
+
+Concretely: ``Z = X·Y`` where ``X`` is ``u x L`` and ``Y`` is ``L x u``
+(an inner-product accumulation of depth ``L``) on an array sized for
+depth ``u``.
+
+Run:  python examples/fixed_array_streaming.py
+"""
+
+import random
+
+from repro.machine.partition import PartitionedModelMachine
+from repro.mapping import designs
+
+U, P, L = 3, 3, 8  # array block size, word length, accumulation depth
+
+
+def main() -> None:
+    rng = random.Random(21)
+    x = [[rng.randrange(1 << P) for _ in range(L)] for _ in range(U)]
+    y = [[rng.randrange(1 << P) for _ in range(U)] for _ in range(L)]
+
+    # The word model: (j1, j2) index the output block, j3 runs over the
+    # full accumulation depth L; the array is built for depth U.
+    machine = PartitionedModelMachine(
+        h1=[0, 1, 0], h2=[1, 0, 0], h3=[0, 0, 1],
+        lowers=[1, 1, 1], uppers=[U, U, L],
+        p=P, mapping=designs.fig4_mapping(P), width=U,
+    )
+
+    xw, yw = {}, {}
+    for j1 in range(1, U + 1):
+        for j2 in range(1, U + 1):
+            for j3 in range(1, L + 1):
+                xw[(j1, j2, j3)] = x[j1 - 1][j3 - 1]
+                yw[(j1, j2, j3)] = y[j3 - 1][j2 - 1]
+
+    run = machine.run(xw, yw)
+    assert run.outputs == machine.reference(xw, yw)
+    mask = (1 << (2 * P - 1)) - 1
+    for j1 in range(1, U + 1):
+        for j2 in range(1, U + 1):
+            want = sum(x[j1 - 1][k] * y[k][j2 - 1] for k in range(L)) & mask
+            assert run.outputs[(j1, j2, L)] == want
+
+    print(f"accumulation depth L = {L} on an array built for depth {U}")
+    print(f"passes: {run.pass_count} "
+          f"(slabs {machine.slab_bounds()})")
+    print(f"per-pass makespan: "
+          f"{[r.sim.makespan for r in run.passes]}")
+    print(f"total time: {run.total_makespan} time units on "
+          f"{run.processor_count} PEs")
+    one_shot = 2 * (U - 1) + (L - 1) + 3 * (P - 1) + 1
+    print(f"(run monolithically the same array would take {one_shot} time "
+          f"units; partitioning costs {run.total_makespan - one_shot} extra "
+          f"units but bounds every pass -- its control program, input "
+          f"window and host I/O burst -- to the depth-{U} design the chip "
+          "was verified for)")
+    print("\nproduct verified bit-exactly across all passes")
+
+
+if __name__ == "__main__":
+    main()

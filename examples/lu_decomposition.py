@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Word-level LU decomposition on a systolic array (triangular domain).
+
+The paper's motivating list includes LU decomposition. Its iteration space
+is a triangular prism, not a box — this example shows the library's
+machinery handling that: the exact constrained index set, feasibility of
+the classical mapping, the free-schedule bound, and a *functional*
+execution through the causality-checking space-time simulator using exact
+rational arithmetic (every PE computes `a − l·u`, the faces compute `u` and
+`l = a/u`), verified by `L·U = A` exactly.
+
+Run:  python examples/lu_decomposition.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.ir.builders import lu_word_structure
+from repro.machine.simulator import SpaceTimeSimulator, ValueStore
+from repro.mapping import (
+    check_feasibility,
+    execution_time,
+    free_schedule_time,
+    processor_count,
+)
+from repro.mapping.designs import word_level_mapping
+
+N = 5
+
+
+def lu_on_array(a_matrix: list[list[Fraction]], n: int):
+    """Execute Gentleman-Kung LU on the mapped array; returns (L, U, sim)."""
+    alg = lu_word_structure(n)
+    binding = {"n": n}
+    mapping = word_level_mapping()
+
+    def compute(q, store: ValueStore) -> None:
+        i, j, k = q
+        if k == 1:
+            a_prev = a_matrix[i - 1][j - 1]
+        else:
+            a_prev = store.get("a", (i, j, k - 1))
+        if i == k:
+            # Top face: this row of the active submatrix becomes U.
+            store.put("u", q, a_prev)
+            if j == k and a_prev == 0:
+                raise ZeroDivisionError(f"zero pivot at k={k}")
+        elif j == k:
+            # Left face: compute the multiplier; u(k,k) arrives pipelined
+            # down the column (the [1,0,0] dependence).
+            ukk = store.get("u", (i - 1, k, k))
+            store.put("u", q, ukk)       # keep passing the pivot down
+            store.put("l", q, a_prev / ukk)
+        else:
+            # Interior: the rank-1 update a - l·u.
+            l_val = store.get("l", (i, j - 1, k))
+            u_val = store.get("u", (i - 1, j, k))
+            store.put("l", q, l_val)
+            store.put("u", q, u_val)
+            store.put("a", q, a_prev - l_val * u_val)
+
+    sim = SpaceTimeSimulator(mapping, alg, binding)
+    result = sim.run(compute)
+
+    lower = [[Fraction(0)] * n for _ in range(n)]
+    upper = [[Fraction(0)] * n for _ in range(n)]
+    for k in range(1, n + 1):
+        lower[k - 1][k - 1] = Fraction(1)
+        for j in range(k, n + 1):
+            upper[k - 1][j - 1] = sim.store.get("u", (k, j, k))
+        for i in range(k + 1, n + 1):
+            lower[i - 1][k - 1] = sim.store.get("l", (i, k, k))
+    return lower, upper, result
+
+
+def main() -> None:
+    rng = random.Random(13)
+    # Diagonally dominant => no zero pivots without pivoting.
+    a = [[Fraction(rng.randrange(-5, 6)) for _ in range(N)] for _ in range(N)]
+    for i in range(N):
+        a[i][i] += Fraction(6 * N)
+
+    alg = lu_word_structure(N)
+    binding = {"n": N}
+    mapping = word_level_mapping()
+    report = check_feasibility(mapping, alg, binding)
+    assert report.feasible
+    print(f"LU over the triangular prism (n={N}): "
+          f"{alg.index_set.size(binding)} computations "
+          f"(box would be {N**3})")
+    print(f"feasibility: {report.summary()}")
+    t = execution_time(mapping.schedule, alg, binding)
+    print(f"schedule Π=[1,1,1]: t = {t} "
+          f"(free-schedule bound {free_schedule_time(alg, binding)})")
+    print(f"processors: {processor_count(mapping, alg.index_set, binding)} "
+          f"(= n² = {N * N})")
+
+    lower, upper, sim = lu_on_array(a, N)
+    # Verify L·U = A exactly.
+    for i in range(N):
+        for j in range(N):
+            got = sum(lower[i][k] * upper[k][j] for k in range(N))
+            assert got == a[i][j], (i, j)
+    print(f"\nL·U = A verified exactly (rational arithmetic); "
+          f"makespan {sim.makespan}, mean utilization "
+          f"{sim.mean_utilization:.1%}")
+    print("U diagonal (pivots):",
+          [str(upper[k][k]) for k in range(N)])
+
+
+if __name__ == "__main__":
+    main()

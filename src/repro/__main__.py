@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro experiments [e1 e2 ...]   # reproduce the paper's figures
+    python -m repro structure [options]       # print a bit-level structure
+    python -m repro design [options]          # check/search a matmul design
+    python -m repro simulate [options]        # run the bit-level matmul machine
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as run_experiments
+
+    return run_experiments(args.ids)
+
+
+def _cmd_structure(args: argparse.Namespace) -> int:
+    from repro.expansion.theorem31 import matmul_bit_level
+    from repro.render import render_algorithm
+
+    alg = matmul_bit_level(
+        args.u, args.p, expansion=args.expansion, arith=args.arithmetic
+    )
+    print(render_algorithm(alg))
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.expansion.theorem31 import matmul_bit_level
+    from repro.mapping import check_feasibility, designs, execution_time, processor_count
+
+    alg = matmul_bit_level(args.u, args.p, expansion=args.expansion)
+    binding = {"u": args.u, "p": args.p}
+    for name, t, prims in [
+        ("Fig. 4 (time-optimal)", designs.fig4_mapping(args.p),
+         designs.fig4_primitives(args.p)),
+        ("Fig. 5 (nearest-neighbour)", designs.fig5_mapping(args.p),
+         designs.fig5_primitives()),
+    ]:
+        rep = check_feasibility(t, alg, binding, primitives=prims)
+        time = execution_time(t.schedule, alg, binding)
+        pes = processor_count(t, alg.index_set, binding)
+        print(f"{name}: {rep.summary()}")
+        print(f"  t = {time}, PEs = {pes}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.machine import BitLevelMatmulMachine
+    from repro.mapping import designs
+    from repro.render import render_gantt
+
+    u, p = args.u, args.p
+    rng = random.Random(args.seed)
+    x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+    y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+    t = designs.fig5_mapping(p) if args.design == "fig5" else designs.fig4_mapping(p)
+    machine = BitLevelMatmulMachine(u, p, t, args.expansion)
+    run = machine.run(x, y)
+    mask = (1 << (2 * p - 1)) - 1
+    want = [
+        [sum(x[i][k] * y[k][j] for k in range(u)) & mask for j in range(u)]
+        for i in range(u)
+    ]
+    print(f"design={args.design} u={u} p={p} expansion={args.expansion}")
+    print(f"makespan: {run.sim.makespan}  PEs: {run.sim.processor_count}  "
+          f"utilization: {run.sim.mean_utilization:.1%}")
+    print(f"product correct (mod 2^{2*p-1}): {run.product == want}")
+    if args.gantt:
+        from repro.machine.simulator import SpaceTimeSimulator
+
+        sim = SpaceTimeSimulator(t, machine.algorithm, machine.binding)
+        sim.run(lambda q, s: None)
+        print(render_gantt(sim.pes))
+    return 0 if run.product == want else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bit-level dependence analysis and architecture design "
+        "(Shang & Wah, ICPP 1993 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="reproduce the paper's figures")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (e1..e8)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    def common(p):
+        p.add_argument("--u", type=int, default=3, help="matrix dimension")
+        p.add_argument("--p", type=int, default=3, help="word length")
+        p.add_argument("--expansion", choices=["I", "II"], default="II")
+
+    p_struct = sub.add_parser("structure", help="print a bit-level structure")
+    common(p_struct)
+    p_struct.add_argument(
+        "--arithmetic", default="add-shift",
+        help="registered arithmetic structure name",
+    )
+    p_struct.set_defaults(fn=_cmd_structure)
+
+    p_design = sub.add_parser("design", help="check the paper's designs")
+    common(p_design)
+    p_design.set_defaults(fn=_cmd_design)
+
+    p_sim = sub.add_parser("simulate", help="run the bit-level matmul machine")
+    common(p_sim)
+    p_sim.add_argument("--design", choices=["fig4", "fig5"], default="fig4")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--gantt", action="store_true", help="print PE chart")
+    p_sim.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

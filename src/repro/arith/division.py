@@ -1,0 +1,138 @@
+"""Non-restoring division: the third arithmetic in the paper's list.
+
+Section 3 motivates the once-per-arithmetic derivation with "multiplication,
+addition and division"; the conference paper works out multiplication and
+defers the rest.  This module supplies division: the classical
+*non-restoring* algorithm realized as ``p`` rows of controlled add/subtract
+(CAS) cells -- the bit-level structure of a Guild-style array divider --
+with a bit-exact evaluator and its dependence structure.
+
+**Why division is row-systolic, not cell-systolic.**  Within one CAS row,
+two signals travel in *opposite* directions: the carry of the ±B operation
+ripples from the least significant cell upward (``[0, +1]``), while the
+row's control bit ``T`` (the sign of the previous partial remainder, which
+decides add vs subtract) must reach every cell from the sign end
+(``[0, -1]``).  A linear schedule would need ``Π·[0,1] > 0`` and
+``Π·[0,-1] > 0`` simultaneously -- impossible.  This is the structural
+reason bit-level systolic *dividers* require carry-save/SRT reformulations
+or row-level granularity, and why the paper's worked examples are
+multipliers.  We therefore expose the honest **row-level** dependence
+structure (a 1-D systolic chain: each row consumes the previous row's
+partial remainder, control bit and divisor), with each row costing a
+``p+2``-cell ripple -- giving the word-level division time
+``t_b = O(p²)`` that a word-level PE would pay.
+"""
+
+from __future__ import annotations
+
+from repro.arith.bitops import full_adder
+from repro.structures.algorithm import Algorithm, ComputationSet
+from repro.structures.conditions import TRUE
+from repro.structures.dependence import DependenceMatrix, DependenceVector
+from repro.structures.indexset import IndexSet
+from repro.structures.params import LinExpr, S, as_linexpr
+
+__all__ = ["NonRestoringDivider", "division_row_structure"]
+
+
+class NonRestoringDivider:
+    """Bit-exact non-restoring divider for ``p``-bit operands.
+
+    Computes ``(q, r)`` with ``a = q·b + r`` and ``0 <= r < b`` for
+    ``0 <= a < 2^p`` and ``1 <= b < 2^p``, via ``p`` CAS rows over a
+    ``p+2``-bit two's-complement remainder window plus one correction row.
+    """
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise ValueError("word length p must be positive")
+        self.p = int(p)
+        self.width = self.p + 2  # remainder window incl. sign headroom
+
+    def _cas_row(self, r_word: int, b: int, subtract: int) -> int:
+        """One controlled add/subtract: ``R ± B`` over the window.
+
+        ``subtract = 1`` adds the two's complement of ``B`` (XOR + carry-in),
+        exactly as a CAS cell row does in hardware.
+        """
+        w = self.width
+        carry = subtract
+        out = 0
+        for k in range(w):
+            bk = (b >> k) & 1 if k < self.p else 0
+            xk = (r_word >> k) & 1
+            yk = bk ^ subtract
+            s, carry = full_adder(xk, yk, carry)
+            out |= s << k
+        return out
+
+    def trace(self, a: int, b: int) -> dict:
+        """Run the array; returns per-row remainders, controls and quotient
+        bits (MSB first)."""
+        p, w = self.p, self.width
+        if not (0 <= a < (1 << p)):
+            raise ValueError(f"dividend {a} outside the {p}-bit range")
+        if not (1 <= b < (1 << p)):
+            raise ValueError(f"divisor {b} must be in [1, 2^p)")
+        mask = (1 << w) - 1
+        remainder = 0
+        control = 1  # the first row subtracts
+        rows = []
+        quotient = 0
+        for r in reversed(range(p)):
+            remainder = ((remainder << 1) | ((a >> r) & 1)) & mask
+            remainder = self._cas_row(remainder, b, control)
+            sign = (remainder >> (w - 1)) & 1
+            q_bit = 1 - sign
+            quotient |= q_bit << r
+            rows.append(
+                {"row": p - r, "remainder": remainder, "control": control,
+                 "q_bit": q_bit}
+            )
+            control = q_bit  # nonnegative remainder → keep subtracting
+        corrected = False
+        if (remainder >> (w - 1)) & 1:
+            remainder = (remainder + b) & mask  # final restoring correction
+            corrected = True
+        return {
+            "rows": rows,
+            "quotient": quotient,
+            "remainder": remainder,
+            "corrected": corrected,
+        }
+
+    def divide(self, a: int, b: int) -> tuple[int, int]:
+        """Exact Euclidean division: ``(a // b, a % b)``."""
+        t = self.trace(a, b)
+        return t["quotient"], t["remainder"]
+
+    @property
+    def steps(self) -> int:
+        """CAS-cell evaluations: ``p`` rows of ``p+2`` cells plus the
+        correction row -- ``O(p²)``, the division ``t_b``."""
+        return self.p * self.width + self.width
+
+    @property
+    def cycles(self) -> int:
+        """Worst-case sequential cycle count (one cell per cycle)."""
+        return self.steps
+
+
+def division_row_structure(p: LinExpr | int | None = None) -> Algorithm:
+    """The row-level dependence structure of the non-restoring array.
+
+    A 1-D chain ``J = {1..p}``: row ``i`` consumes the previous row's
+    partial remainder ``R``, control bit ``T`` and the pipelined divisor
+    ``b`` -- one uniform dependence vector ``[1]`` carrying all three.
+    (The *cell*-level array is not linearly schedulable; see the module
+    docstring.)
+    """
+    p = S("p") if p is None else as_linexpr(p)
+    dep = DependenceMatrix([DependenceVector([1], ("R", "T", "b"), TRUE)])
+    comp = ComputationSet(
+        {
+            "S_row": "R(i) = CAS(R(i-1) shifted, b, T(i-1)); "
+                     "T(i) = sign(R(i)); q_i = ¬T(i)",
+        }
+    )
+    return Algorithm(IndexSet([1], [p], ("i",)), dep, comp, "nonrestoring-divider")

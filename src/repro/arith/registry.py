@@ -1,0 +1,57 @@
+"""Registry of arithmetic structures, keyed by name.
+
+The paper observes that "many word-level algorithms involve a limited number
+of word-level arithmetic algorithms, [so] the dependence structures of these
+algorithms need to be derived only once".  The registry is that once-derived
+catalog: Theorem 3.1 callers look structures up by name, and users can
+register their own (any 2-D multiplier fitting the
+:class:`~repro.arith.structure.ArithmeticStructure` roles).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arith.addshift import addshift_structure
+from repro.arith.baughwooley import baughwooley_structure
+from repro.arith.carrysave import carrysave_structure
+from repro.arith.structure import ArithmeticStructure
+from repro.structures.params import LinExpr
+
+__all__ = ["register_structure", "get_structure", "list_structures"]
+
+_REGISTRY: dict[str, Callable[[LinExpr | int | None], ArithmeticStructure]] = {
+    "add-shift": addshift_structure,
+    "baugh-wooley": baughwooley_structure,
+    "carry-save": carrysave_structure,
+}
+
+
+def register_structure(
+    name: str,
+    factory: Callable[[LinExpr | int | None], ArithmeticStructure],
+    replace: bool = False,
+) -> None:
+    """Register a structure factory ``factory(p) -> ArithmeticStructure``."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"arithmetic structure {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_structure(
+    name: str, p: LinExpr | int | None = None
+) -> ArithmeticStructure:
+    """Instantiate the named structure at word length ``p`` (symbolic if
+    omitted)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown arithmetic structure {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(p)
+
+
+def list_structures() -> list[str]:
+    """Names of all registered structures."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,75 @@
+"""Role-annotated arithmetic dependence structures.
+
+Theorem 3.1 composes the word-level dependence matrix with the dependence
+matrix of *an* arithmetic algorithm.  What the composition needs to know
+about the arithmetic algorithm is captured here: its 2-D index set ``J_as``
+and the dependence vectors playing each functional role --
+
+``delta_a``
+    pipelining of the multiplicand bits (add-shift: ``δ̄₁ = [1,0]ᵀ``);
+``delta_b``
+    pipelining of the multiplier bits (``δ̄₂ = [0,1]ᵀ``);
+``delta_carry``
+    carry propagation (add-shift: shares ``δ̄₂``; carry-save: shares
+    ``δ̄₁``);
+``delta_s``
+    partial-sum movement (``δ̄₃ = [1,-1]ᵀ``);
+``delta_carry2``
+    the second carry direction ``δ̄₄`` needed where more than three bits
+    are summed (add-shift: ``[0,2]ᵀ``).
+
+The record also carries an executable ``multiply(a, b, p)`` so that
+downstream simulation can be generic in the arithmetic algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.structures.dependence import DependenceMatrix, DependenceVector
+from repro.structures.indexset import IndexSet
+
+__all__ = ["ArithmeticStructure"]
+
+
+@dataclass(frozen=True)
+class ArithmeticStructure:
+    """The ``(J_as, D_as)`` record of a 2-D bit-level multiplier."""
+
+    name: str
+    index_set: IndexSet
+    delta_a: tuple[int, int]
+    delta_b: tuple[int, int]
+    delta_s: tuple[int, int]
+    delta_carry: tuple[int, int]
+    delta_carry2: tuple[int, int]
+    #: executable semantics: ``multiply(a, b, p) -> product``
+    multiply: Callable[[int, int, int], int] = field(compare=False)
+
+    def dependence_matrix(self) -> DependenceMatrix:
+        """The distilled ``D_as`` with merged columns and cause labels.
+
+        Vectors playing several roles (e.g. add-shift's ``δ̄₂`` carrying
+        both ``b`` and the carry) are merged into one column, exactly as the
+        paper writes ``D_as`` in eq. (3.4).  ``δ̄₄`` (the second carry) is
+        *not* part of ``D_as``; it only appears after expansion.
+        """
+        roles: dict[tuple[int, int], list[str]] = {}
+        for vec, cause in (
+            (self.delta_a, "a"),
+            (self.delta_b, "b"),
+            (self.delta_carry, "c"),
+            (self.delta_s, "s"),
+        ):
+            roles.setdefault(tuple(vec), []).append(cause)
+        return DependenceMatrix(
+            DependenceVector(vec, causes) for vec, causes in roles.items()
+        )
+
+    def distinct_vectors(self) -> list[tuple[int, int]]:
+        """Sorted distinct dependence vectors of ``D_as``."""
+        return sorted(
+            {tuple(self.delta_a), tuple(self.delta_b),
+             tuple(self.delta_carry), tuple(self.delta_s)}
+        )

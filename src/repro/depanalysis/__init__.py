@@ -1,0 +1,34 @@
+"""General dependence analysis for nested-loop programs.
+
+This package implements the classical machinery the paper uses as its
+baseline ("general dependence analysis methods ... generally involve finding
+all integer solutions of a set of linear Diophantine equations, followed by a
+verification to see if the integer solutions are inside the index set"):
+
+* :mod:`repro.depanalysis.gcdtest` -- the GCD screening test;
+* :mod:`repro.depanalysis.banerjee` -- Banerjee's inequality (real-valued
+  bounds) screening test;
+* :mod:`repro.depanalysis.diophantine` -- integer solution lattices of
+  subscript systems plus bounded lattice enumeration;
+* :mod:`repro.depanalysis.exact` -- the exact analyzer: Diophantine solve,
+  then in-index-set verification (exponential in the loop depth, as the
+  paper notes);
+* :mod:`repro.depanalysis.analyzer` -- the public entry point
+  :func:`~repro.depanalysis.analyzer.analyze`, including a fast
+  hash-join oracle (``method="enumerate"``) used to cross-check the exact
+  analyzer and to validate Theorem 3.1 on concrete instances.
+"""
+
+from repro.depanalysis.pairs import AnalysisResult, DependenceInstance, PointSet
+from repro.depanalysis.gcdtest import gcd_test
+from repro.depanalysis.banerjee import banerjee_test
+from repro.depanalysis.analyzer import analyze
+
+__all__ = [
+    "AnalysisResult",
+    "DependenceInstance",
+    "PointSet",
+    "gcd_test",
+    "banerjee_test",
+    "analyze",
+]

@@ -1,0 +1,99 @@
+"""Top-level dependence-analysis entry point.
+
+:func:`analyze` dispatches between two independent implementations:
+
+* ``method="exact"`` -- the classical Diophantine-plus-verification analyzer
+  (:mod:`repro.depanalysis.exact`); this is the baseline whose cost the
+  paper's compositional method avoids.
+* ``method="enumerate"`` -- a hash-join oracle that walks the iteration space
+  once, records every element written, and joins reads against it.  For the
+  single-assignment programs of the paper this is exact, fast, and serves as
+  an independent cross-check of the exact analyzer (two implementations must
+  agree instance-for-instance).
+"""
+
+from __future__ import annotations
+
+from repro.depanalysis.exact import analyze_exact
+from repro.depanalysis.pairs import AnalysisResult, DependenceInstance
+from repro.ir.program import LoopNest
+from repro.structures.params import ParamBinding
+
+__all__ = ["analyze", "analyze_enumerate"]
+
+
+def analyze_enumerate(program: LoopNest, binding: ParamBinding) -> AnalysisResult:
+    """Hash-join dependence analysis (exact for single-assignment programs).
+
+    Pass 1 records, for every array element, the iteration that writes it
+    (verifying single assignment on the way).  Pass 2 joins every guarded
+    read against that table; each hit with a distinct writer iteration is a
+    flow-dependence instance.
+    """
+    writers: dict[tuple[str, tuple[int, ...]], tuple[int, ...]] = {}
+    stats = {"points_visited": 0, "reads_joined": 0, "instances": 0}
+    for point in program.index_set.points(binding):
+        stats["points_visited"] += 1
+        env = program.point_env(point)
+        for stmt in program.statements:
+            if not stmt.active_at(point, binding):
+                continue
+            elem = stmt.write.element(env, binding)
+            prev = writers.get(elem)
+            if prev is not None and prev != point:
+                raise ValueError(
+                    f"program is not single-assignment: {elem} written at "
+                    f"both {prev} and {point}"
+                )
+            writers[elem] = point
+
+    instances: set[DependenceInstance] = set()
+    for point in program.index_set.points(binding):
+        env = program.point_env(point)
+        for stmt in program.statements:
+            if not stmt.active_at(point, binding):
+                continue
+            for acc in stmt.reads:
+                stats["reads_joined"] += 1
+                elem = acc.element(env, binding)
+                src = writers.get(elem)
+                if src is None or src == point:
+                    continue
+                vec = tuple(s - t for s, t in zip(point, src))
+                kind = "flow"
+                for x in vec:
+                    if x > 0:
+                        break
+                    if x < 0:
+                        kind = "reversed"
+                        break
+                instances.add(DependenceInstance(point, vec, acc.array, kind))
+    stats["instances"] = len(instances)
+    return AnalysisResult(sorted(instances, key=lambda i: i.key()), stats)
+
+
+def analyze(
+    program: LoopNest,
+    binding: ParamBinding,
+    method: str = "exact",
+    use_screens: bool = True,
+) -> AnalysisResult:
+    """Analyze a program instance for cross-iteration flow dependences.
+
+    Parameters
+    ----------
+    program:
+        The loop nest.
+    binding:
+        Concrete values for the symbolic parameters in bounds/guards.
+    method:
+        ``"exact"`` (Diophantine + in-set verification) or ``"enumerate"``
+        (hash-join oracle).
+    use_screens:
+        For ``method="exact"``: whether to apply GCD/Banerjee screening.
+    """
+    if method == "exact":
+        return analyze_exact(program, binding, use_screens=use_screens)
+    if method == "enumerate":
+        return analyze_enumerate(program, binding)
+    raise ValueError(f"unknown analysis method {method!r}")

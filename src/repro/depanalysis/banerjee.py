@@ -1,0 +1,66 @@
+"""Banerjee's inequality test.
+
+The second classical screening test [Banerjee 1988]: a subscript equation
+``sum_i a_i j'_i - sum_i b_i j_i = rhs`` with every variable confined to its
+loop bounds can only have a (real-valued, hence a fortiori integer) solution
+when ``rhs`` lies between the minimum and maximum of the left-hand side over
+the bounding box.  Like the GCD test it is conservative -- it never misses a
+real dependence but may report false positives -- and it is complementary to
+the GCD test (GCD checks divisibility, Banerjee checks magnitude).
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import ArrayAccess
+from repro.structures.indexset import IndexSet
+from repro.structures.params import ParamBinding
+
+__all__ = ["banerjee_test", "affine_range"]
+
+
+def affine_range(
+    coeffs: list[int], bounds: list[tuple[int, int]]
+) -> tuple[int, int]:
+    """Exact (min, max) of ``sum_i coeffs[i] * x_i`` over a box.
+
+    Each ``x_i`` independently ranges over ``bounds[i]``, so the extrema are
+    attained componentwise at the box corners selected by coefficient sign.
+    """
+    lo = hi = 0
+    for c, (l, u) in zip(coeffs, bounds):
+        if c >= 0:
+            lo += c * l
+            hi += c * u
+        else:
+            lo += c * u
+            hi += c * l
+    return lo, hi
+
+
+def banerjee_test(
+    write: ArrayAccess,
+    read: ArrayAccess,
+    index_order: tuple[str, ...],
+    index_set: IndexSet,
+    binding: ParamBinding,
+) -> bool:
+    """Return True when a dependence is *possible* by Banerjee's bounds.
+
+    For each subscript position the affine form over the ``2n`` unknowns
+    ``(j̄', j̄)`` (both constrained to the loop bounds) must be able to reach
+    zero; if the interval of reachable values excludes zero for any position,
+    the accesses are independent.
+    """
+    if write.array != read.array:
+        return False
+    bounds = index_set.bounds(binding)
+    box = bounds + bounds  # unknowns are (source j̄', sink j̄)
+    for w_e, r_e in zip(write.subscripts, read.subscripts):
+        coeffs = w_e.coeff_vector(index_order) + [
+            -c for c in r_e.coeff_vector(index_order)
+        ]
+        const = w_e.offset.evaluate(binding) - r_e.offset.evaluate(binding)
+        lo, hi = affine_range(coeffs, box)
+        if not (lo + const <= 0 <= hi + const):
+            return False
+    return True

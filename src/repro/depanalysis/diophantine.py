@@ -1,0 +1,178 @@
+"""Integer solution lattices and their bounded enumeration.
+
+The exact dependence test solves the subscript system ``A z = b`` (``z``
+stacking the source and sink iteration vectors) over the integers, producing
+a particular solution plus a lattice basis, and must then *verify* which
+lattice points fall inside the iteration-space box.  This module supplies
+that verification: :func:`bounded_lattice_points` enumerates all lattice
+points of ``particular + B t̄`` lying inside a coordinate box, by interval
+constraint propagation (bound tightening) followed by branch-and-prune
+enumeration of the ``t̄`` space.
+
+The enumeration is intentionally the honest, classical algorithm: its cost
+grows exponentially with the number of free lattice directions -- which for
+the programs of the paper equals the loop-nest dimension -- because that is
+exactly the cost the paper's Theorem 3.1 avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.util.intmath import ceil_div, floor_div
+
+__all__ = ["bounded_lattice_points", "UnboundedLatticeError"]
+
+_INF = None  # sentinel for an unbounded interval end
+
+
+class UnboundedLatticeError(ValueError):
+    """Raised when the lattice is not confined by the box constraints."""
+
+
+def _tighten(
+    intervals: list[list],
+    rows: list[tuple[list[int], int, int]],
+) -> bool:
+    """Tighten ``t`` intervals against ``lo <= sum c_k t_k <= hi`` rows.
+
+    Returns ``False`` when a contradiction (empty interval) is detected.
+    ``intervals`` entries are mutable pairs ``[lo, hi]`` with ``None`` for
+    unbounded ends.
+    """
+    changed = True
+    guard = 0
+    while changed:
+        changed = False
+        guard += 1
+        if guard > 10_000:  # defensive: should converge long before this
+            break
+        for coeffs, lo, hi in rows:
+            for k, c in enumerate(coeffs):
+                if c == 0:
+                    continue
+                rest_lo = 0
+                rest_hi = 0
+                unbounded = False
+                for k2, c2 in enumerate(coeffs):
+                    if k2 == k or c2 == 0:
+                        continue
+                    l2, h2 = intervals[k2]
+                    if l2 is _INF or h2 is _INF:
+                        unbounded = True
+                        break
+                    a, b = c2 * l2, c2 * h2
+                    rest_lo += min(a, b)
+                    rest_hi += max(a, b)
+                if unbounded:
+                    continue
+                # lo - rest_hi <= c * t_k <= hi - rest_lo
+                if c > 0:
+                    new_lo = ceil_div(lo - rest_hi, c)
+                    new_hi = floor_div(hi - rest_lo, c)
+                else:
+                    new_lo = ceil_div(hi - rest_lo, c)
+                    new_hi = floor_div(lo - rest_hi, c)
+                cur = intervals[k]
+                if cur[0] is _INF or new_lo > cur[0]:
+                    cur[0] = new_lo
+                    changed = True
+                if cur[1] is _INF or new_hi < cur[1]:
+                    cur[1] = new_hi
+                    changed = True
+                if cur[0] is not _INF and cur[1] is not _INF and cur[0] > cur[1]:
+                    return False
+    return True
+
+
+def bounded_lattice_points(
+    particular: Sequence[int],
+    basis: Sequence[Sequence[int]],
+    bounds: Sequence[tuple[int, int]],
+) -> Iterator[list[int]]:
+    """Enumerate ``x = particular + sum_k t_k basis[k]`` with
+    ``bounds[i][0] <= x_i <= bounds[i][1]`` for all ``i``.
+
+    Yields each solution vector ``x`` exactly once.  Raises
+    :class:`UnboundedLatticeError` when constraint propagation cannot bound
+    every lattice coordinate (infinitely many solutions or a degenerate box).
+    """
+    n = len(particular)
+    if len(bounds) != n:
+        raise ValueError("bounds length must match solution dimension")
+    m = len(basis)
+    if m == 0:
+        x = list(particular)
+        if all(lo <= xi <= hi for xi, (lo, hi) in zip(x, bounds)):
+            yield x
+        return
+
+    # Row form: lo_i - p_i <= sum_k basis[k][i] * t_k <= hi_i - p_i.
+    rows = []
+    for i in range(n):
+        coeffs = [int(basis[k][i]) for k in range(m)]
+        if all(c == 0 for c in coeffs):
+            lo, hi = bounds[i]
+            if not (lo <= particular[i] <= hi):
+                return  # the fixed coordinate violates the box: no solutions
+            continue
+        rows.append(
+            (coeffs, bounds[i][0] - particular[i], bounds[i][1] - particular[i])
+        )
+
+    intervals: list[list] = [[_INF, _INF] for _ in range(m)]
+    if not _tighten(intervals, rows):
+        return
+    for k, (lo, hi) in enumerate(intervals):
+        if lo is _INF or hi is _INF:
+            raise UnboundedLatticeError(
+                f"lattice direction t_{k} is not bounded by the box constraints"
+            )
+
+    def recurse(assign: list[int | None], intervals: list[list]) -> Iterator[list[int]]:
+        # Pick the unassigned variable with the narrowest range.
+        free = [k for k in range(m) if assign[k] is None]
+        if not free:
+            x = list(particular)
+            for k in range(m):
+                tk = assign[k]
+                for i in range(n):
+                    x[i] += tk * basis[k][i]
+            if all(lo <= xi <= hi for xi, (lo, hi) in zip(x, bounds)):
+                yield x
+            return
+        k = min(free, key=lambda k_: intervals[k_][1] - intervals[k_][0])
+        lo_k, hi_k = intervals[k]
+        for val in range(lo_k, hi_k + 1):
+            new_assign = list(assign)
+            new_assign[k] = val
+            # Substitute t_k = val into the rows and re-tighten the rest.
+            new_rows = []
+            feasible = True
+            for coeffs, lo, hi in rows:
+                ck = coeffs[k]
+                new_coeffs = list(coeffs)
+                new_coeffs[k] = 0
+                new_lo = lo - ck * val
+                new_hi = hi - ck * val
+                # Also substitute already-assigned variables for tightness.
+                for k2 in range(m):
+                    if k2 != k and new_assign[k2] is not None and new_coeffs[k2]:
+                        new_lo -= new_coeffs[k2] * new_assign[k2]
+                        new_hi -= new_coeffs[k2] * new_assign[k2]
+                        new_coeffs[k2] = 0
+                if all(c == 0 for c in new_coeffs):
+                    if not (new_lo <= 0 <= new_hi):
+                        feasible = False
+                        break
+                    continue
+                new_rows.append((new_coeffs, new_lo, new_hi))
+            if not feasible:
+                continue
+            new_intervals = [list(iv) for iv in intervals]
+            new_intervals[k] = [val, val]
+            if not _tighten(new_intervals, new_rows):
+                continue
+            yield from recurse(new_assign, new_intervals)
+
+    yield from recurse([None] * m, intervals)

@@ -1,0 +1,64 @@
+"""Direction vectors: the classical (<, =, >) dependence summaries.
+
+Banerjee-era compilers summarize each dependence as a *direction vector*
+over the loop nest: per loop, whether the source iteration is earlier
+(``<``), equal (``=``) or later (``>``) than the sink.  Distance vectors
+(the ``d̄`` this library works with) refine direction vectors; the reverse
+mapping is provided here for interoperability with that vocabulary, plus
+loop-parallelism queries that follow directly from it (a loop carries no
+dependence iff every direction vector has ``=`` in its position or is
+forced sequential by an outer ``<``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.depanalysis.pairs import AnalysisResult
+
+__all__ = [
+    "direction_of",
+    "direction_vectors",
+    "carried_loops",
+    "parallel_loops",
+]
+
+_SYMBOL = {1: "<", 0: "=", -1: ">"}
+
+
+def direction_of(distance: Sequence[int]) -> str:
+    """Direction vector of a distance vector, as a string like ``"(<,=,>)"``.
+
+    Convention: the distance is ``sink - source``, so a positive component
+    means the source is *earlier* in that loop (``<``).
+    """
+    symbols = [
+        _SYMBOL[1 if d > 0 else -1 if d < 0 else 0] for d in distance
+    ]
+    return "(" + ",".join(symbols) + ")"
+
+
+def direction_vectors(result: AnalysisResult) -> dict[str, int]:
+    """Multiset of direction vectors over all dependence instances."""
+    return dict(Counter(direction_of(inst.vector) for inst in result.instances))
+
+
+def carried_loops(distances: Iterable[Sequence[int]]) -> set[int]:
+    """Loops (0-based positions) that carry at least one dependence.
+
+    A dependence is *carried* by the outermost loop at which its distance
+    is nonzero; inner positions of that vector constrain nothing.
+    """
+    carried: set[int] = set()
+    for d in distances:
+        for k, x in enumerate(d):
+            if x != 0:
+                carried.add(k)
+                break
+    return carried
+
+
+def parallel_loops(distances: Iterable[Sequence[int]], depth: int) -> set[int]:
+    """Loops that can run fully parallel (carry no dependence)."""
+    return set(range(depth)) - carried_loops(distances)

@@ -1,0 +1,55 @@
+"""The GCD dependence test.
+
+The oldest of the screening tests: a dependence between a write access
+``W(j̄')`` and a read access ``R(j̄)`` of the same array requires integer
+solvability of ``W_k(j̄') - R_k(j̄) = 0`` for every subscript position ``k``.
+Each such equation is linear Diophantine; it has integer solutions iff the
+gcd of the coefficients divides the constant term.  If any equation fails the
+divisibility check, the accesses can never touch the same element and the
+pair is independent -- no index-set verification needed.
+
+The test is *conservative*: passing it does not prove dependence (solutions
+may fall outside the iteration space); that refinement is the job of
+:mod:`repro.depanalysis.exact`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import ArrayAccess
+from repro.structures.params import ParamBinding
+from repro.util.intmath import gcd_list
+
+__all__ = ["gcd_test"]
+
+
+def gcd_test(
+    write: ArrayAccess,
+    read: ArrayAccess,
+    index_order: tuple[str, ...],
+    binding: ParamBinding,
+) -> bool:
+    """Return True when a dependence between ``write`` and ``read`` is
+    *possible* according to the GCD criterion.
+
+    The unknowns are the ``2n`` values ``(j̄', j̄)`` (source iteration, sink
+    iteration); the equations equate subscripts position by position.
+    Symbolic offsets are evaluated under ``binding``.
+    """
+    if write.array != read.array:
+        return False
+    if write.rank != read.rank:
+        raise ValueError(
+            f"rank mismatch on array {write.array}: {write.rank} vs {read.rank}"
+        )
+    for w_e, r_e in zip(write.subscripts, read.subscripts):
+        coeffs = w_e.coeff_vector(index_order) + [
+            -c for c in r_e.coeff_vector(index_order)
+        ]
+        rhs = r_e.offset.evaluate(binding) - w_e.offset.evaluate(binding)
+        g = gcd_list(coeffs)
+        if g == 0:
+            if rhs != 0:
+                return False
+        elif rhs % g != 0:
+            return False
+    return True

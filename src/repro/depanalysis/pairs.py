@@ -1,0 +1,152 @@
+"""Dependence instances and analysis results.
+
+A :class:`DependenceInstance` is one concrete dependence pair
+``(j̄, d̄ = j̄ - j̄')``: iteration ``j̄`` (the *sink*) uses a value produced by
+iteration ``j̄' = j̄ - d̄`` (the *source*), through variable ``variable``.
+
+An :class:`AnalysisResult` aggregates all instances found for a program on a
+concrete parameter binding, and distills them into the paper's dependence-
+matrix view: distinct dependence vectors, each with an extensional validity
+domain (:class:`PointSet`).  Extensional domains are exactly what is needed
+to cross-validate Theorem 3.1's *symbolic* validity conditions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.structures.conditions import Condition
+from repro.structures.dependence import DependenceMatrix, DependenceVector
+from repro.structures.params import ParamBinding
+
+__all__ = ["DependenceInstance", "PointSet", "AnalysisResult"]
+
+
+class PointSet(Condition):
+    """An extensional validity condition: a finite set of concrete points."""
+
+    __slots__ = ("points",)
+
+    def __init__(self, points: Iterable[Sequence[int]]):
+        self.points = frozenset(tuple(int(x) for x in pt) for pt in points)
+
+    def holds(self, point: Sequence[int], binding: ParamBinding) -> bool:
+        return tuple(point) in self.points
+
+    def shift_axes(self, offset: int) -> Condition:
+        raise NotImplementedError("extensional point sets cannot be re-axed")
+
+    def params(self) -> frozenset[str]:
+        return frozenset()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointSet) and self.points == other.points
+
+    def __hash__(self) -> int:
+        return hash(self.points)
+
+    def __repr__(self) -> str:
+        if len(self.points) <= 4:
+            return f"PointSet({sorted(self.points)})"
+        return f"PointSet(<{len(self.points)} points>)"
+
+
+class DependenceInstance:
+    """One dependence pair ``(sink, vector)`` through ``variable``."""
+
+    __slots__ = ("sink", "vector", "variable", "kind")
+
+    def __init__(
+        self,
+        sink: Sequence[int],
+        vector: Sequence[int],
+        variable: str,
+        kind: str = "flow",
+    ):
+        self.sink = tuple(int(x) for x in sink)
+        self.vector = tuple(int(x) for x in vector)
+        self.variable = variable
+        self.kind = kind
+
+    @property
+    def source(self) -> tuple[int, ...]:
+        """The iteration that produced the value (``sink - vector``)."""
+        return tuple(s - d for s, d in zip(self.sink, self.vector))
+
+    def key(self) -> tuple:
+        return (self.sink, self.vector, self.variable, self.kind)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DependenceInstance) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.kind}({self.variable}): {list(self.source)} -> {list(self.sink)}"
+            f" d̄={list(self.vector)}"
+        )
+
+
+class AnalysisResult:
+    """All dependences of a program instance, with matrix distillation."""
+
+    __slots__ = ("instances", "stats")
+
+    def __init__(
+        self,
+        instances: Iterable[DependenceInstance],
+        stats: dict | None = None,
+    ):
+        self.instances: tuple[DependenceInstance, ...] = tuple(instances)
+        #: analyzer bookkeeping: systems solved, candidates enumerated, etc.
+        self.stats: dict = stats or {}
+
+    def distinct_vectors(self) -> list[tuple[int, ...]]:
+        """Sorted distinct dependence vectors found."""
+        return sorted({inst.vector for inst in self.instances})
+
+    def vectors_by_variable(self) -> dict[str, set[tuple[int, ...]]]:
+        """Distinct vectors grouped by the variable that causes them."""
+        out: dict[str, set[tuple[int, ...]]] = defaultdict(set)
+        for inst in self.instances:
+            out[inst.variable].add(inst.vector)
+        return dict(out)
+
+    def edge_set(self) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """The set of (source, sink) pairs, ignoring variables."""
+        return {(inst.source, inst.sink) for inst in self.instances}
+
+    def sinks_of(self, vector: Sequence[int]) -> set[tuple[int, ...]]:
+        """All sink points at which a given dependence vector occurs."""
+        v = tuple(int(x) for x in vector)
+        return {inst.sink for inst in self.instances if inst.vector == v}
+
+    def to_dependence_matrix(self) -> DependenceMatrix:
+        """Distill into the paper's dependence-matrix form.
+
+        One column per distinct dependence vector; causes are the union of the
+        variables observed for that vector; the validity condition is the
+        extensional :class:`PointSet` of sink points.
+        """
+        sinks: dict[tuple[int, ...], set[tuple[int, ...]]] = defaultdict(set)
+        causes: dict[tuple[int, ...], set[str]] = defaultdict(set)
+        for inst in self.instances:
+            sinks[inst.vector].add(inst.sink)
+            causes[inst.vector].add(inst.variable)
+        vectors = [
+            DependenceVector(vec, sorted(causes[vec]), PointSet(sinks[vec]))
+            for vec in sorted(sinks)
+        ]
+        return DependenceMatrix(vectors)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisResult({len(self.instances)} instances, "
+            f"{len(self.distinct_vectors())} distinct vectors)"
+        )

@@ -1,0 +1,163 @@
+"""Symbolic summarization of extensional validity domains.
+
+The general analyzer reports where each dependence vector occurs as a
+finite *point set*; the paper writes validity domains *symbolically*
+(``i₁ = 1``, ``i₂ ≠ 1``, ``i₁ = p or i₂ = 1``, ...).  This module closes
+the representational gap: :func:`summarize_validity` searches a small,
+paper-shaped hypothesis space of conditions -- conjunctions/disjunctions of
+per-axis (in)equalities against the interesting values of each axis (its
+bounds, bound±1, and small constants) -- for one whose extension over the
+index set matches the observed point set exactly.
+
+With it, the whole paper pipeline can be run in reverse: expand a program,
+analyze it, and *recover* dependence matrices in the same symbolic form
+Theorem 3.1 produces, making the two directly comparable column by column.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.depanalysis.pairs import AnalysisResult
+from repro.structures.conditions import And, Condition, Eq, Ne, Or, TRUE
+from repro.structures.dependence import DependenceMatrix, DependenceVector
+from repro.structures.indexset import IndexSet
+from repro.structures.params import LinExpr, ParamBinding
+
+__all__ = ["summarize_validity", "summarize_result", "candidate_atoms"]
+
+
+def candidate_atoms(
+    index_set: IndexSet, binding: ParamBinding
+) -> list[Condition]:
+    """Paper-shaped atomic conditions for each axis.
+
+    For axis ``k`` with symbolic bounds ``[lo, hi]``, the atoms are
+    ``Eq``/``Ne`` against: the bounds themselves (so conditions print as
+    ``i₁ = p`` rather than ``i₁ = 3``), and the small constants ``lo`` /
+    ``lo+1`` (the paper's ``i₂ ≠ 1, 2``).  Atoms that are tautological or
+    unsatisfiable on the instantiated set are dropped.
+    """
+    atoms: list[Condition] = []
+    bounds = index_set.bounds(binding)
+    for axis in range(index_set.dim):
+        lo_expr, hi_expr = index_set.lowers[axis], index_set.uppers[axis]
+        lo, hi = bounds[axis]
+        if lo == hi:
+            continue  # the axis is degenerate; nothing to distinguish
+        values: list[LinExpr] = [lo_expr, hi_expr]
+        values.append(lo_expr + 1)
+        seen: set[int] = set()
+        for value in values:
+            concrete = value.evaluate(binding)
+            if concrete in seen or not (lo <= concrete <= hi):
+                continue
+            seen.add(concrete)
+            atoms.append(Eq(axis, value))
+            atoms.append(Ne(axis, value))
+    return atoms
+
+
+def _extension(
+    cond: Condition,
+    points: Iterable[tuple[int, ...]],
+    binding: ParamBinding,
+) -> frozenset[tuple[int, ...]]:
+    return frozenset(pt for pt in points if cond.holds(pt, binding))
+
+
+def summarize_validity(
+    observed: Iterable[Sequence[int]],
+    index_set: IndexSet,
+    binding: ParamBinding,
+    max_terms: int = 3,
+) -> Condition | None:
+    """Find a symbolic condition whose extension equals ``observed``.
+
+    The hypothesis space, searched smallest-first:
+
+    1. ``TRUE`` (the vector is uniform);
+    2. single atoms;
+    3. conjunctions of up to ``max_terms`` atoms;
+    4. disjunctions of up to ``max_terms`` atoms or conjunction pairs
+       (covers the paper's ``i₁ = p or i₂ = 1`` and
+       ``i₁ ≠ 1 or i₂ ∉ {1,2}`` shapes, including one level of
+       and-inside-or).
+
+    Returns ``None`` when nothing in the space matches exactly -- the
+    caller should then keep the extensional representation.
+    """
+    target = frozenset(tuple(int(x) for x in pt) for pt in observed)
+    universe = list(index_set.points(binding))
+    if target == frozenset(universe):
+        return TRUE
+
+    atoms = candidate_atoms(index_set, binding)
+    # Pre-filter: keep atoms consistent with the target (their extension is
+    # a superset of the target, a necessary condition for conjuncts).
+    ext: dict[Condition, frozenset] = {
+        a: _extension(a, universe, binding) for a in atoms
+    }
+
+    # 2. single atoms
+    for a in atoms:
+        if ext[a] == target:
+            return a
+
+    supersets = [a for a in atoms if ext[a] >= target]
+    # 3. conjunctions
+    for r in range(2, max_terms + 1):
+        for combo in itertools.combinations(supersets, r):
+            inter = frozenset(universe)
+            for a in combo:
+                inter &= ext[a]
+                if not inter >= target:
+                    break
+            else:
+                if inter == target:
+                    return And(*combo)
+
+    # 4. disjunctions of atoms and of small conjunctions.
+    subsets = [a for a in atoms if ext[a] <= target and ext[a]]
+    # Also allow conjunction pairs as disjuncts (for q̄₁-style conditions).
+    conj_pairs = []
+    for a, b in itertools.combinations(atoms, 2):
+        inter = ext[a] & ext[b]
+        if inter and inter <= target and inter not in (ext[a], ext[b]):
+            conj_pairs.append((And(a, b), inter))
+    disjunct_pool: list[tuple[Condition, frozenset]] = [
+        (a, ext[a]) for a in subsets
+    ] + conj_pairs
+    for r in range(2, max_terms + 1):
+        for combo in itertools.combinations(disjunct_pool, r):
+            union: frozenset = frozenset()
+            for _, e in combo:
+                union |= e
+            if union == target:
+                return Or(*(c for c, _ in combo))
+    return None
+
+
+def summarize_result(
+    result: AnalysisResult,
+    index_set: IndexSet,
+    binding: ParamBinding,
+    max_terms: int = 3,
+) -> DependenceMatrix:
+    """Lift an :class:`AnalysisResult` to a symbolic dependence matrix.
+
+    Each distinct vector's sink set is summarized; vectors whose domain
+    resists summarization keep their extensional :class:`PointSet`
+    condition.  Note that the analyzer only sees *effective* edges (source
+    inside ``J``), so recovered conditions are the intersection of the
+    paper's validity with source membership -- e.g. a uniform ``d̄₃``
+    appears as ``j ≠ l`` (first iteration reads a boundary value).
+    """
+    base = result.to_dependence_matrix()
+    out = []
+    for vec in base:
+        sinks = result.sinks_of(vec.vector)
+        cond = summarize_validity(sinks, index_set, binding, max_terms)
+        out.append(vec.with_validity(cond) if cond is not None else vec)
+    return DependenceMatrix(out)

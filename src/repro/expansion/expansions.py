@@ -1,0 +1,72 @@
+"""Algorithm expansion descriptors (Fig. 2 of the paper).
+
+An *algorithm expansion* decides how the accumulation operand ``z(j̄-h̄₃)``
+is added to the product ``x(j̄)·y(j̄)`` when the word-wise multiply-accumulate
+is implemented bit-wise:
+
+* **Expansion I** (Fig. 2b / Fig. 3b): the ``p²`` *partial-sum* bits of
+  ``z(j̄-h̄₃)``, produced at every lattice point of iteration ``j̄-h̄₃``, are
+  forwarded position-wise to iteration ``j̄``.  The in-lattice collapse
+  ``δ̄₃`` runs only in the final word iteration ``j_n = u_n``.  Faster and
+  more computationally uniform: at most three bits are summed everywhere
+  except at ``j_n = u_n``.
+* **Expansion II** (Fig. 2a / Fig. 3c): each word iteration runs the full
+  add-shift lattice; the ``2p-1`` *final-sum* bits of ``z(j̄-h̄₃)`` are
+  injected at the lattice boundary ``i₁ = p`` or ``i₂ = 1`` of iteration
+  ``j̄``.  Slower (iteration ``j̄`` waits for the *final* bits of
+  ``j̄-h̄₃``) and less uniform: four or five bits are summed on the
+  ``i₁ = p`` hyperplane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Expansion", "EXPANSION_I", "EXPANSION_II", "get_expansion"]
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """An algorithm expansion with its qualitative properties."""
+
+    key: str
+    title: str
+    #: what travels between word iterations along h̄₃
+    z_transport: str
+    #: where the in-lattice collapse δ̄₃ is active
+    collapse_region: str
+    #: where second carries c' appear
+    carry2_region: str
+    #: maximum number of summands at one index point
+    max_summands: int
+
+
+EXPANSION_I = Expansion(
+    key="I",
+    title="Expansion I: partial-sum forwarding",
+    z_transport="p² partial-sum bits, position-wise",
+    collapse_region="final word iteration j_n = u_n",
+    carry2_region="j_n = u_n and (i1 ≠ 1 or i2 ∉ {1,2})",
+    max_summands=5,
+)
+
+EXPANSION_II = Expansion(
+    key="II",
+    title="Expansion II: final-sum boundary injection",
+    z_transport="2p-1 final-sum bits, at lattice boundary i1 = p or i2 = 1",
+    collapse_region="every word iteration (uniform)",
+    carry2_region="hyperplane i1 = p",
+    max_summands=5,
+)
+
+_BY_KEY = {"I": EXPANSION_I, "II": EXPANSION_II}
+
+
+def get_expansion(key: str | Expansion) -> Expansion:
+    """Coerce ``"I"``/``"II"`` or an :class:`Expansion` to a descriptor."""
+    if isinstance(key, Expansion):
+        return key
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise ValueError(f"unknown expansion {key!r}; use 'I' or 'II'") from None

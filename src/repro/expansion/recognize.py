@@ -1,0 +1,167 @@
+"""Recognizing expansion structure in existing bit-level programs.
+
+The paper's motivation runs both ways: designing new arrays *and*
+"programming existing bit-level processor arrays".  For the latter, one
+receives a bit-level program and must discover its structure before any
+mapping machinery applies.  This module does that discovery:
+
+1. run general dependence analysis on the given ``(n+2)``-dimensional
+   program;
+2. split the observed dependence vectors into the *word part* (zero in the
+   two lattice coordinates) and the *lattice part* (zero in the word
+   coordinates) -- the block structure Theorem 3.1 predicts;
+3. read off the candidate word-level vectors ``h̄₁, h̄₂, h̄₃`` and lattice
+   vectors ``δ̄``, and classify the expansion by where the ``h̄₃``-part
+   dependences live (everywhere → Expansion I; on the lattice boundary →
+   Expansion II);
+4. confirm by reconstructing the structure with Theorem 3.1 and comparing
+   effective edges.
+
+The result is a :class:`RecognitionReport` that either certifies "this
+program is Expansion <X> of word model ``(h̄₁, h̄₂, h̄₃)`` over ``J_w`` with
+word length ``p``" -- after which all of Section 4's design machinery
+applies -- or explains what failed to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.depanalysis.analyzer import analyze
+from repro.expansion.theorem31 import bit_level_from_vectors
+from repro.expansion.verify import effective_edges
+from repro.ir.program import LoopNest
+from repro.structures.params import ParamBinding
+
+__all__ = ["RecognitionReport", "recognize_expansion"]
+
+
+@dataclass
+class RecognitionReport:
+    """Outcome of expansion recognition on a bit-level program."""
+
+    recognized: bool
+    expansion: str | None = None
+    h1: tuple[int, ...] | None = None
+    h2: tuple[int, ...] | None = None
+    h3: tuple[int, ...] | None = None
+    word_dim: int = 0
+    p: int = 0
+    reason: str = ""
+    #: edges in the program but not in the reconstruction (and vice versa)
+    edge_mismatches: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.recognized:
+            return (
+                f"Expansion {self.expansion} of word model "
+                f"(h1={list(self.h1)}, h2={list(self.h2)}, h3={list(self.h3)}) "
+                f"at p={self.p}"
+            )
+        return f"not recognized: {self.reason}"
+
+
+def _split_vector(vec: tuple[int, ...], n: int) -> str:
+    word, lattice = vec[:n], vec[n:]
+    if any(word) and not any(lattice):
+        return "word"
+    if any(lattice) and not any(word):
+        return "lattice"
+    return "mixed"
+
+
+def recognize_expansion(
+    program: LoopNest,
+    binding: ParamBinding | None = None,
+) -> RecognitionReport:
+    """Attempt to recognize a bit-level program as a model-(3.5) expansion.
+
+    The program's last two axes are taken as the lattice coordinates
+    ``(i1, i2)`` (square lattice, ``p`` from the bounds); the remaining
+    axes are the word index.  Bounds must be concrete under ``binding``.
+    """
+    binding = dict(binding or {})
+    if program.dim < 3:
+        return RecognitionReport(False, reason="needs at least 3 dimensions")
+    n = program.dim - 2
+    bounds = program.index_set.bounds(binding)
+    (lo1, hi1), (lo2, hi2) = bounds[n], bounds[n + 1]
+    if lo1 != 1 or lo2 != 1 or hi1 != hi2:
+        return RecognitionReport(
+            False, reason="last two axes are not a square 1..p lattice"
+        )
+    p = hi1
+
+    result = analyze(program, binding, method="enumerate")
+    if not result.instances:
+        return RecognitionReport(False, reason="no dependences found")
+
+    word_vectors: dict[tuple[int, ...], set[tuple[int, ...]]] = {}
+    lattice_vectors: set[tuple[int, ...]] = set()
+    for vec in result.distinct_vectors():
+        kind = _split_vector(vec, n)
+        if kind == "mixed":
+            return RecognitionReport(
+                False,
+                reason=f"dependence {list(vec)} mixes word and lattice axes",
+            )
+        if kind == "word":
+            word_vectors[vec[:n]] = result.sinks_of(vec)
+        else:
+            lattice_vectors.add(vec[n:])
+
+    expected_lattice = {(1, 0), (0, 1), (1, -1), (0, 2)}
+    if not lattice_vectors <= expected_lattice:
+        return RecognitionReport(
+            False,
+            reason=f"unexpected lattice vectors {sorted(lattice_vectors - expected_lattice)}",
+        )
+
+    # Candidate roles: each word vector may serve any of h̄₁/h̄₂/h̄₃
+    # (they coincide when the model's h̄'s coincide).  There are at most
+    # three distinct word vectors, so exhaustive assignment is cheap; each
+    # candidate is *verified* by reconstructing with Theorem 3.1 and
+    # comparing effective edges exactly, so no heuristic can mis-certify.
+    observed = {(i.sink, i.vector) for i in result.instances}
+    lowers = [b[0] for b in bounds[:n]]
+    uppers = [b[1] for b in bounds[:n]]
+    wvecs = sorted(word_vectors)
+
+    # Order expansion attempts by a quick look at the z-ish sink regions:
+    # any word-vector edge strictly interior to the lattice implies
+    # Expansion I's position-wise transport.
+    interior_seen = any(
+        s[n] != p and s[n] != 1 and s[n + 1] != 1
+        for sinks in word_vectors.values()
+        for s in sinks
+    )
+    attempts = ("I", "II") if interior_seen else ("II", "I")
+
+    best_mismatch: int | None = None
+    for expansion in attempts:
+        for h1 in wvecs:
+            for h2 in wvecs:
+                for h3 in wvecs:
+                    reconstructed = bit_level_from_vectors(
+                        list(h1), list(h2), list(h3),
+                        lowers, uppers, p, expansion,
+                    )
+                    predicted = effective_edges(reconstructed, {"p": p})
+                    mismatches = len(predicted ^ observed)
+                    if mismatches == 0:
+                        return RecognitionReport(
+                            True, expansion=expansion,
+                            h1=h1, h2=h2, h3=h3, word_dim=n, p=p,
+                            extra={"instances": len(result.instances)},
+                        )
+                    if best_mismatch is None or mismatches < best_mismatch:
+                        best_mismatch = mismatches
+    return RecognitionReport(
+        False,
+        word_dim=n,
+        p=p,
+        reason="no role assignment reconstructs the program's dependences",
+        edge_mismatches=best_mismatch or 0,
+    )

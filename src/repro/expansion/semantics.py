@@ -1,0 +1,231 @@
+"""Bit-exact functional semantics of the expanded bit-level algorithms.
+
+This module executes an expanded word-level algorithm (model (3.5)) entirely
+at the bit level, under either expansion, and is the functional ground truth
+used to validate both the expansions themselves and the systolic
+architectures built on them.
+
+**Value model.**  Each lattice point ``(i1, i2)`` owns the binary weight
+``2^{i1+i2-2}``.  A point sums its input bits exactly (a small integer
+``v <= 7``) and emits ``v`` in binary: the sum bit at its own weight, a
+carry one weight up, and a second carry ``c'`` two weights up.  Every
+emitted bit is routed along one of the structure's dependence directions.
+
+**Boundary carry completion.**  As in :mod:`repro.arith.addshift`, carries
+emitted at the western column ``i2 = p`` (and second carries at
+``i2 ∈ {p-1, p}``) would leave the lattice; value conservation re-routes a
+bit of weight position ``pos <= 2p-1`` to the column-``p`` point
+``(pos - p + 1, p)`` that owns that weight -- a hop along the existing
+``[1, 0]ᵀ`` link direction.  Bits of position ``>= 2p`` are overflow beyond
+the ``2p-1``-bit accumulator word and are dropped, so every expansion
+computes the word-level recurrence **modulo** ``2^{2p-1}``; results are
+exact whenever the true values fit in ``2p-1`` bits.
+
+The sweep over a lattice processes points in ``(i1, i2)`` ascending order,
+which topologically orders every dependence used (``δ̄₃`` consumers
+``(i1+1, i2-1)``, carry consumers ``(i1, i2+1)``, ``c'`` consumers
+``(i1, i2+2)``, and re-routed bits at ``(pos-p+1, p)`` all come later).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.arith.bitops import to_bits
+from repro.expansion.expansions import Expansion, get_expansion
+
+__all__ = ["BitLevelEvaluator", "LatticeSweep"]
+
+
+class LatticeSweep:
+    """One ``p x p`` lattice evaluation with exact bit accounting.
+
+    Inputs are seeded per point (partial products, injected ``z`` bits,
+    forwarded partial sums); :meth:`run` performs the topological sweep and
+    records the per-point sum bits plus statistics (max summands seen, bits
+    dropped as overflow).
+    """
+
+    def __init__(self, p: int):
+        self.p = int(p)
+        #: pending input bits per lattice point
+        self.pending: dict[tuple[int, int], list[int]] = {}
+        #: sum bit produced at each point
+        self.sum_bits: dict[tuple[int, int], int] = {}
+        self.max_summands = 0
+        #: histogram of per-point input counts (load-balance statistic)
+        self.summand_counts: dict[int, int] = {}
+        self.dropped_positions: list[int] = []
+        #: whether the δ̄₃ collapse forwards sum bits within this sweep
+        self.collapse = True
+
+    def seed(self, point: tuple[int, int], bit: int) -> None:
+        """Add one input bit at a lattice point."""
+        if bit:
+            self.pending.setdefault(point, []).append(1)
+
+    def _route_up(self, i1: int, i2: int, offset: int, bit: int) -> None:
+        """Route a bit ``offset`` weight positions above point ``(i1, i2)``."""
+        if not bit:
+            return
+        p = self.p
+        pos = (i1 + i2 - 1) + offset
+        target = (i1, i2 + offset)
+        if target[1] <= p:
+            self.pending.setdefault(target, []).append(1)
+        elif pos <= 2 * p - 1:
+            # Boundary re-route along [1,0]ᵀ to the column-p owner of pos.
+            reroute = (pos - p + 1, p)
+            self.pending.setdefault(reroute, []).append(1)
+        else:
+            self.dropped_positions.append(pos)
+
+    def run(self) -> None:
+        """Sweep the lattice in topological order, producing all sum bits."""
+        p = self.p
+        for i1 in range(1, p + 1):
+            for i2 in range(1, p + 1):
+                inputs = self.pending.pop((i1, i2), [])
+                v = sum(inputs)
+                self.summand_counts[len(inputs)] = (
+                    self.summand_counts.get(len(inputs), 0) + 1
+                )
+                if len(inputs) > self.max_summands:
+                    self.max_summands = len(inputs)
+                if v > 7:
+                    raise AssertionError(
+                        f"compressor overflow at ({i1},{i2}): {v} ones"
+                    )
+                self.sum_bits[(i1, i2)] = v & 1
+                self._route_up(i1, i2, 1, (v >> 1) & 1)
+                self._route_up(i1, i2, 2, (v >> 2) & 1)
+                if self.collapse:
+                    # δ̄₃: forward the sum bit to (i1+1, i2-1); at the lattice
+                    # boundary it becomes (part of) a final output bit.
+                    if v & 1 and i2 > 1 and i1 < p:
+                        self.pending.setdefault((i1 + 1, i2 - 1), []).append(1)
+        leftovers = {pt: bits for pt, bits in self.pending.items() if bits}
+        if leftovers:
+            raise AssertionError(f"unconsumed lattice inputs: {leftovers}")
+
+    def boundary_word(self) -> int:
+        """Collect the final bits: ``s(i,1)`` (positions ``1..p``) and
+        ``s(p,k)`` (positions ``p+1..2p-1``), as an integer."""
+        p = self.p
+        value = 0
+        for i in range(1, p + 1):
+            value |= self.sum_bits[(i, 1)] << (i - 1)
+        for k in range(2, p + 1):
+            value |= self.sum_bits[(p, k)] << (p + k - 2)
+        return value
+
+
+class BitLevelEvaluator:
+    """Execute an expanded word-level algorithm bit by bit.
+
+    Parameters
+    ----------
+    p:
+        Word length.
+    expansion:
+        ``"I"`` or ``"II"``.
+    """
+
+    def __init__(self, p: int, expansion: str | Expansion = "II"):
+        if p < 1:
+            raise ValueError("word length p must be positive")
+        self.p = int(p)
+        self.expansion = get_expansion(expansion)
+        self.max_summands = 0
+        #: aggregated per-point input-count histogram across all sweeps
+        self.summand_histogram: dict[int, int] = {}
+
+    def _absorb(self, sweep: LatticeSweep) -> None:
+        self.max_summands = max(self.max_summands, sweep.max_summands)
+        for count, occurrences in sweep.summand_counts.items():
+            self.summand_histogram[count] = (
+                self.summand_histogram.get(count, 0) + occurrences
+            )
+
+    # -- single multiply-accumulate chains ----------------------------------
+    def accumulate(
+        self, xs: Sequence[int], ys: Sequence[int], z_init: int = 0
+    ) -> int:
+        """Compute ``z_init + sum_k xs[k]*ys[k] (mod 2^{2p-1})`` bit-wise.
+
+        This is the 1-D model (3.7) with ``h₁ = h₂ = h₃ = 1``: one word
+        iteration per ``k``, executing the chosen expansion's lattice logic.
+        """
+        if len(xs) != len(ys):
+            raise ValueError("operand streams must have equal length")
+        p = self.p
+        mask = (1 << (2 * p - 1)) - 1
+        if self.expansion.key == "II":
+            z = z_init & mask
+            for x, y in zip(xs, ys):
+                z = self._iteration_expansion2(x, y, z)
+            return z
+        # Expansion I: position-wise partial-sum state across iterations.
+        state = self._decompose_positionwise(z_init & mask)
+        for k, (x, y) in enumerate(zip(xs, ys)):
+            final = k == len(xs) - 1
+            state = self._iteration_expansion1(x, y, state, final=final)
+        if not xs:
+            # No iterations: collapse the initial state directly.
+            state = self._iteration_expansion1(0, 0, state, final=True)
+        return state["result"]
+
+    # -- Expansion II: full lattice per iteration, z injected at boundary ----
+    def _iteration_expansion2(self, x: int, y: int, z_prev: int) -> int:
+        p = self.p
+        sweep = LatticeSweep(p)
+        x_bits = to_bits(x, p)
+        y_bits = to_bits(y, p)
+        for i1 in range(1, p + 1):
+            for i2 in range(1, p + 1):
+                sweep.seed((i1, i2), x_bits[i2 - 1] & y_bits[i1 - 1])
+        # Inject the 2p-1 final bits of z_prev at the boundary owner of each
+        # weight: position w <= p at (w, 1); w > p at (p, w - p + 1).
+        z_bits = to_bits(z_prev, 2 * p - 1)
+        for w in range(1, 2 * p):
+            target = (w, 1) if w <= p else (p, w - p + 1)
+            sweep.seed(target, z_bits[w - 1])
+        sweep.run()
+        self._absorb(sweep)
+        return sweep.boundary_word()
+
+    # -- Expansion I: carry-save across iterations, collapse at the end -------
+    def _decompose_positionwise(self, z: int) -> dict:
+        """Spread an initial value over the lattice position-wise.
+
+        Position ``w``'s bit is stored at its boundary owner, matching where
+        partial sums of that weight live.
+        """
+        p = self.p
+        grid = {
+            (i1, i2): 0 for i1 in range(1, p + 1) for i2 in range(1, p + 1)
+        }
+        bits = to_bits(z & ((1 << (2 * p - 1)) - 1), 2 * p - 1)
+        for w in range(1, 2 * p):
+            target = (w, 1) if w <= p else (p, w - p + 1)
+            grid[target] = bits[w - 1]
+        return {"grid": grid, "result": None}
+
+    def _iteration_expansion1(
+        self, x: int, y: int, state: dict, final: bool
+    ) -> dict:
+        p = self.p
+        sweep = LatticeSweep(p)
+        sweep.collapse = final  # δ̄₃ runs only in the last word iteration
+        x_bits = to_bits(x, p)
+        y_bits = to_bits(y, p)
+        grid: Mapping[tuple[int, int], int] = state["grid"]
+        for i1 in range(1, p + 1):
+            for i2 in range(1, p + 1):
+                sweep.seed((i1, i2), x_bits[i2 - 1] & y_bits[i1 - 1])
+                sweep.seed((i1, i2), grid[(i1, i2)])
+        sweep.run()
+        self._absorb(sweep)
+        if final:
+            return {"grid": None, "result": sweep.boundary_word()}
+        return {"grid": dict(sweep.sum_bits), "result": None}

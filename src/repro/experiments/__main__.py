@@ -1,0 +1,62 @@
+"""Run all experiment harnesses and print their reports.
+
+Usage::
+
+    python -m repro.experiments            # all experiments
+    python -m repro.experiments e4 e5      # a subset by id
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    e1_addshift,
+    e2_expansions,
+    e3_matmul_structure,
+    e4_fig4,
+    e5_fig5,
+    e6_speedup,
+    e7_analysis_cost,
+    e8_wordlevel,
+    e9_bounds,
+    e10_search,
+)
+
+MODULES = {
+    "e1": e1_addshift,
+    "e2": e2_expansions,
+    "e3": e3_matmul_structure,
+    "e4": e4_fig4,
+    "e5": e5_fig5,
+    "e6": e6_speedup,
+    "e7": e7_analysis_cost,
+    "e8": e8_wordlevel,
+    "e9": e9_bounds,
+    "e10": e10_search,
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = [a.lower() for a in argv] or list(MODULES)
+    unknown = [w for w in wanted if w not in MODULES]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {sorted(MODULES)}")
+        return 2
+    failed = []
+    for key in wanted:
+        mod = MODULES[key]
+        report = mod.report()
+        print(report)
+        print()
+        if "FAIL" in report or "MISMATCH" in report:
+            failed.append(key)
+    if failed:
+        print(f"FAILED experiments: {failed}")
+        return 1
+    print("All experiments reproduce the paper's results.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,110 @@
+"""E3 -- Example 3.1 / eqs. (3.12)-(3.13): bit-level matmul structure.
+
+Reproduces the paper's worked example: applying Theorem 3.1 to the
+word-level matrix multiplication (2.4) with the add-shift structure (3.4)
+under Expansion II yields the 5-D structure of eqs. (3.12)/(3.13):
+
+* index set ``{1 <= j1, j2, j3 <= u, 1 <= i1, i2 <= p}`` (eq. (3.13));
+* seven dependence vectors, columns of eq. (3.12), with the validity
+  conditions printed beneath them;
+
+and cross-validates it against general dependence analysis of the explicit
+5-D bit-level program on concrete instances.
+"""
+
+from __future__ import annotations
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.expansion.verify import verify_theorem31
+from repro.experiments.tables import format_table
+from repro.structures.conditions import TRUE, Eq, Ne, Or
+from repro.structures.params import S
+
+__all__ = ["run", "report", "paper_312_columns"]
+
+_P, _U = S("p"), S("u")
+
+
+def paper_312_columns(expansion: str = "II"):
+    """The seven ``(vector, causes, validity)`` columns of eq. (3.12).
+
+    Axis numbering is 0-based over ``(j1, j2, j3, i1, i2)``, so ``i1`` is
+    axis 3 and ``i2`` axis 4; with Expansion I the validity conditions are
+    those of eq. (3.11b) instead.
+    """
+    p = _P
+    if expansion == "II":
+        val_d3 = Or(Eq(3, p), Eq(4, 1))
+        val_d6 = TRUE
+        val_d7 = Eq(3, p)
+    else:
+        from repro.structures.conditions import And, Ne as _Ne
+
+        val_d3 = TRUE
+        val_d6 = Eq(2, _U)
+        val_d7 = And(Eq(2, _U), Or(_Ne(3, 1), And(_Ne(4, 1), _Ne(4, 2))))
+    return [
+        ((1, 0, 0, 0, 0), frozenset({"y"}), Eq(4, 1)),
+        ((0, 1, 0, 0, 0), frozenset({"x"}), Eq(3, 1)),
+        ((0, 0, 1, 0, 0), frozenset({"z"}), val_d3),
+        ((0, 0, 0, 1, 0), frozenset({"x"}), Ne(3, 1)),
+        ((0, 0, 0, 0, 1), frozenset({"c", "y"}), Ne(4, 1)),
+        ((0, 0, 0, 1, -1), frozenset({"z"}), val_d6),
+        ((0, 0, 0, 0, 2), frozenset({"c'"}), val_d7),
+    ]
+
+
+def run(cases: tuple[tuple[int, int], ...] = ((2, 2), (3, 2), (2, 3))) -> dict:
+    """Check the symbolic structure against (3.12) and cross-validate."""
+    alg = matmul_bit_level()  # symbolic u, p
+    derived = {
+        (v.vector, frozenset(v.causes), v.validity) for v in alg.dependences
+    }
+    paper = {
+        (vec, causes, val) for vec, causes, val in paper_312_columns("II")
+    }
+    symbolic_ok = derived == paper
+
+    index_ok = (
+        alg.index_set.dim == 5
+        and all(lo == 1 for lo in [b.constant_value() for b in alg.index_set.lowers])
+        and [str(b) for b in alg.index_set.uppers] == ["u", "u", "u", "p", "p"]
+    )
+
+    rows = []
+    all_ok = symbolic_ok and index_ok
+    for u, p in cases:
+        for exp in ("I", "II"):
+            rep = verify_theorem31(
+                [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [u, u, u], p,
+                expansion=exp,
+            )
+            all_ok = all_ok and rep.matches
+            rows.append((u, p, exp, rep.matches, len(rep.compositional_vectors)))
+    return {
+        "symbolic_ok": symbolic_ok,
+        "index_ok": index_ok,
+        "rows": rows,
+        "ok": all_ok,
+        "algorithm": alg,
+    }
+
+
+def report(data: dict | None = None) -> str:
+    """Render the E3 summary."""
+    data = data or run()
+    lines = [
+        "E3: bit-level matrix multiplication structure (eqs. (3.12)/(3.13))",
+        f"symbolic D equals eq. (3.12): {data['symbolic_ok']}",
+        f"index set equals eq. (3.13):  {data['index_ok']}",
+        "",
+        format_table(
+            ["u", "p", "expansion", "matches analysis", "#vectors"],
+            data["rows"],
+        ),
+    ]
+    for vec in data["algorithm"].dependences:
+        lines.append(f"  {vec!r}")
+    verdict = "ALL CHECKS PASS" if data["ok"] else "FAILURES PRESENT"
+    lines.append(f"=> {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""E8 -- Section 2 / eqs. (2.2)-(2.4): the word-level pipeline.
+
+Reproduces the preprocessing chain of Example 2.1:
+
+1. the accumulation form of matmul converts to single-assignment (2.2);
+2. Fortes-Moldovan broadcast elimination turns (2.2) into (2.3), choosing
+   the propagation directions ``[0,1,0]`` for ``x`` and ``[1,0,0]`` for
+   ``y``;
+3. general dependence analysis of (2.3) recovers the dependence matrix of
+   eq. (2.4) -- the three unit vectors, each caused by one variable -- and
+   confirms the algorithm is a *uniform dependence algorithm*;
+4. the single-assignment property holds for (2.2)/(2.3) and fails for the
+   accumulation form.
+"""
+
+from __future__ import annotations
+
+from repro.depanalysis import analyze
+from repro.experiments.tables import format_table
+from repro.ir.builders import matmul_naive, matmul_pipelined
+from repro.ir.transform import broadcast_directions, eliminate_broadcasts
+
+__all__ = ["run", "report"]
+
+PAPER_24 = {
+    "x": {(0, 1, 0)},
+    "y": {(1, 0, 0)},
+    "z": {(0, 0, 1)},
+}
+
+
+def run(u_values: tuple[int, ...] = (2, 3, 4)) -> dict:
+    """Validate the (2.2) -> (2.3) -> (2.4) chain for several sizes."""
+    rows = []
+    all_ok = True
+    for u in u_values:
+        naive = matmul_naive(u)
+        directions = broadcast_directions(naive)
+        dir_ok = directions == {"x": [0, 1, 0], "y": [1, 0, 0]}
+
+        pipelined = eliminate_broadcasts(naive)
+        sa_ok = pipelined.verify_single_assignment({"u": u})
+
+        derived = analyze(pipelined, {"u": u}, method="exact").vectors_by_variable()
+        dep_ok = derived == PAPER_24
+
+        # The hand-written (2.3) builder agrees with the transformed program.
+        hand = analyze(matmul_pipelined(u), {"u": u}, method="exact")
+        hand_ok = hand.vectors_by_variable() == PAPER_24
+
+        uniform_ok = all(
+            len(vecs) == 1 for vecs in derived.values()
+        )  # one uniform vector per variable
+
+        ok = dir_ok and sa_ok and dep_ok and hand_ok and uniform_ok
+        all_ok = all_ok and ok
+        rows.append((u, dir_ok, sa_ok, dep_ok, hand_ok, uniform_ok))
+    return {"rows": rows, "ok": all_ok}
+
+
+def report(data: dict | None = None) -> str:
+    """Render the E8 table."""
+    data = data or run()
+    table = format_table(
+        ["u", "directions ok", "single-assign", "D == (2.4)",
+         "(2.3) builder ok", "uniform"],
+        data["rows"],
+        title="E8: word-level matmul pipeline (eqs. (2.2)-(2.4))",
+    )
+    verdict = "ALL CHECKS PASS" if data["ok"] else "FAILURES PRESENT"
+    return f"{table}\n=> {verdict}"

@@ -1,0 +1,34 @@
+"""Minimal fixed-width table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a monospace table with right-aligned cells.
+
+    Floats are shown with 3 decimals; everything else via ``str``.
+    """
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.3f}"
+        return str(x)
+
+    grid = [[cell(h) for h in headers]] + [[cell(c) for c in row] for row in rows]
+    widths = [max(len(r[c]) for r in grid) for c in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(grid[0], widths)))
+    lines.append(sep)
+    for row in grid[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Static validation of loop-nest programs.
+
+Utilities that check the structural premises the rest of the library
+relies on, *before* any enumeration:
+
+* :func:`extract_model35` -- recognize the paper's model (3.5) in a program
+  and extract its ``(h̄₁, h̄₂, h̄₃)`` vectors;
+* :func:`check_guard_partition` -- for each array, the guards of its
+  writing statements must partition the index set (at most one writer per
+  point; exactly one when requested), the static counterpart of the
+  single-assignment premise;
+* :func:`uniform_shift` / :func:`check_uniform_shifts` -- detect reads that
+  are constant-offset shifts of a write of the same array (the uniform-
+  dependence shape all of the paper's machinery assumes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.expr import AffineExpr
+from repro.ir.program import ArrayAccess, LoopNest
+from repro.structures.params import ParamBinding
+
+__all__ = [
+    "extract_model35",
+    "check_guard_partition",
+    "uniform_shift",
+    "check_uniform_shifts",
+]
+
+
+def uniform_shift(
+    write: ArrayAccess, read: ArrayAccess, index_order: Sequence[str]
+) -> list[int] | None:
+    """The constant vector ``d̄`` with ``read(j̄) = write(j̄ - d̄)``.
+
+    Returns ``None`` when the accesses are not uniform shifts of each other
+    (different arrays, different coefficient structure, or a symbolic
+    offset difference).  Only identity-coefficient writes (the
+    single-assignment convention ``v(j̄) = ...``) are recognized.
+    """
+    if write.array != read.array or write.rank != read.rank:
+        return None
+    if write.rank != len(index_order):
+        return None
+    shift: list[int] = []
+    for k, (w_e, r_e) in enumerate(zip(write.subscripts, read.subscripts)):
+        # Write must be exactly the k-th index.
+        if w_e.coeff_vector(index_order) != [
+            1 if i == k else 0 for i in range(len(index_order))
+        ] or not w_e.offset.is_constant or w_e.offset.constant_value() != 0:
+            return None
+        if r_e.coeff_vector(index_order) != w_e.coeff_vector(index_order):
+            return None
+        diff = w_e.offset - r_e.offset
+        if not diff.is_constant:
+            return None
+        shift.append(diff.constant_value())
+    return shift
+
+
+def extract_model35(program: LoopNest) -> dict[str, list[int]]:
+    """Recognize model (3.5) and return ``{"x": h̄₁, "y": h̄₂, "z": h̄₃}``.
+
+    Requirements checked: statements writing arrays ``x``, ``y``, ``z``
+    with identity subscripts; each reads its own array at a constant shift;
+    the ``z`` statement additionally reads ``x(j̄)`` and ``y(j̄)`` in place.
+    Raises ``ValueError`` with a specific message otherwise.
+    """
+    order = program.index_names
+    shifts: dict[str, list[int]] = {}
+    by_target = {s.write.array: s for s in program.statements}
+    for name in ("x", "y", "z"):
+        stmt = by_target.get(name)
+        if stmt is None:
+            raise ValueError(f"model (3.5) requires a statement writing {name!r}")
+        self_reads = [a for a in stmt.reads if a.array == name]
+        if len(self_reads) != 1:
+            raise ValueError(
+                f"statement for {name!r} must read {name!r} exactly once"
+            )
+        shift = uniform_shift(stmt.write, self_reads[0], order)
+        if shift is None:
+            raise ValueError(
+                f"the {name!r} recurrence is not a uniform shift"
+            )
+        shifts[name] = shift
+    z_stmt = by_target["z"]
+    for operand in ("x", "y"):
+        in_place = [
+            a for a in z_stmt.reads
+            if a.array == operand and uniform_shift(
+                by_target[operand].write, a, order
+            ) == [0] * program.dim
+        ]
+        if not in_place:
+            raise ValueError(
+                f"the z statement must read {operand}(j̄) in place"
+            )
+    return shifts
+
+
+def check_guard_partition(
+    program: LoopNest,
+    binding: ParamBinding,
+    require_exactly_one: bool = False,
+) -> dict[str, bool]:
+    """Per-array check that writer guards never overlap.
+
+    Returns ``{array: ok}``; with ``require_exactly_one`` an array also
+    fails when some index point has *no* active writer (useful for value
+    arrays like ``s`` that every point must produce).
+    """
+    writers: dict[str, list] = {}
+    for stmt in program.statements:
+        writers.setdefault(stmt.write.array, []).append(stmt)
+    out: dict[str, bool] = {}
+    for array, stmts in writers.items():
+        ok = True
+        for point in program.index_set.points(binding):
+            active = sum(1 for s in stmts if s.active_at(point, binding))
+            if active > 1 or (require_exactly_one and active == 0):
+                ok = False
+                break
+        out[array] = ok
+    return out
+
+
+def check_uniform_shifts(program: LoopNest) -> dict[tuple[str, str], list[int]]:
+    """All recognized uniform-shift (writer, reader-statement) pairs.
+
+    Returns ``{(array, reader_statement): d̄}`` for every read that is a
+    constant shift of that array's write -- the statically-derivable part
+    of the dependence structure (guards refine where each shift applies).
+    """
+    order = program.index_names
+    by_target: dict[str, list] = {}
+    for stmt in program.statements:
+        by_target.setdefault(stmt.write.array, []).append(stmt)
+    out: dict[tuple[str, str], list[int]] = {}
+    for stmt in program.statements:
+        for acc in stmt.reads:
+            for writer in by_target.get(acc.array, ()):
+                shift = uniform_shift(writer.write, acc, order)
+                if shift is not None and any(shift):
+                    out[(acc.array, stmt.name)] = shift
+    return out

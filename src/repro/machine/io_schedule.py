@@ -1,0 +1,128 @@
+"""Array I/O schedules: when and where boundary data enters and leaves.
+
+Figs. 4 and 5 of the paper draw the input streams ``x_{ij}^k`` / ``y_{ij}^k``
+staggered in space and time -- the *data skew* a host must apply when
+feeding the array.  That schedule is fully determined by the mapping: a
+computation at ``q̄`` whose dependence source ``q̄ - d̄`` falls outside the
+index set reads a boundary input, which must be presented to processor
+``S q̄`` at time ``Π q̄`` on the link realizing ``d̄``; symmetrically, a
+value never consumed inside ``J`` is an output.
+
+:func:`input_schedule` and :func:`output_schedule` compute those event
+tables exactly, and :func:`render_io` prints them in stream order -- the
+textual equivalent of the figures' staggered arrows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.mapping.transform import MappingMatrix
+from repro.structures.algorithm import Algorithm
+from repro.structures.params import ParamBinding
+
+__all__ = ["IOEvent", "input_schedule", "output_schedule", "render_io"]
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One boundary transfer: a datum crossing the array edge."""
+
+    time: int
+    processor: tuple[int, ...]
+    variable: str
+    #: the index point whose computation consumes (input) / produces (output)
+    point: tuple[int, ...]
+    #: the dependence vector involved
+    vector: tuple[int, ...]
+
+
+def input_schedule(
+    algorithm: Algorithm,
+    mapping: MappingMatrix,
+    binding: ParamBinding,
+) -> list[IOEvent]:
+    """All boundary *inputs*: valid dependences whose source is outside ``J``.
+
+    Sorted by time, then processor -- the order a host feeder would follow.
+    """
+    events = []
+    index_set = algorithm.index_set
+    for point in index_set.points(binding):
+        for vec in algorithm.dependences.valid_vectors_at(point, binding):
+            src = tuple(a - b for a, b in zip(point, vec.vector))
+            if index_set.contains(src, binding):
+                continue
+            events.append(
+                IOEvent(
+                    time=mapping.time_of(point),
+                    processor=mapping.processor_of(point),
+                    variable=",".join(vec.causes) or "?",
+                    point=point,
+                    vector=vec.vector,
+                )
+            )
+    events.sort(key=lambda e: (e.time, e.processor, e.variable))
+    return events
+
+
+def output_schedule(
+    algorithm: Algorithm,
+    mapping: MappingMatrix,
+    binding: ParamBinding,
+) -> list[IOEvent]:
+    """All boundary *outputs*: points none of whose valid dependence
+    consumers lie inside ``J`` for a given variable.
+
+    For each dependence vector ``d̄`` caused by variable ``v``, the value
+    ``v`` produced at ``q̄`` is consumed at ``q̄ + d̄``; when every such
+    consumer is outside ``J``, the value leaves the array (e.g. the final
+    ``z`` bits at the accumulation-chain ends).
+    """
+    index_set = algorithm.index_set
+    # For each cause, the vectors transporting it.
+    by_cause: dict[str, list] = defaultdict(list)
+    for vec in algorithm.dependences:
+        for cause in vec.causes:
+            by_cause[cause].append(vec)
+    events = []
+    for point in index_set.points(binding):
+        for cause, vectors in by_cause.items():
+            consumed_inside = False
+            any_consumer = False
+            for vec in vectors:
+                dst = tuple(a + b for a, b in zip(point, vec.vector))
+                if not index_set.contains(dst, binding):
+                    continue
+                if vec.valid_at(dst, binding):
+                    consumed_inside = True
+                    break
+                any_consumer = True
+            if not consumed_inside:
+                events.append(
+                    IOEvent(
+                        time=mapping.time_of(point),
+                        processor=mapping.processor_of(point),
+                        variable=cause,
+                        point=point,
+                        vector=(),
+                    )
+                )
+    events.sort(key=lambda e: (e.time, e.processor, e.variable))
+    return events
+
+
+def render_io(events: list[IOEvent], max_rows: int = 30) -> str:
+    """Tabulate I/O events (the text form of the figures' staggered arrows)."""
+    if not events:
+        return "(no boundary events)"
+    lines = [f"{'t':>5}  {'PE':<12} {'var':<6} point"]
+    for e in events[:max_rows]:
+        lines.append(
+            f"{e.time:>5}  {str(list(e.processor)):<12} {e.variable:<6} "
+            f"{list(e.point)}"
+        )
+    if len(events) > max_rows:
+        lines.append(f"... ({len(events) - max_rows} more events)")
+    return "\n".join(lines)

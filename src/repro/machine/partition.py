@@ -1,0 +1,166 @@
+"""Pass partitioning: long accumulations on a fixed-depth array.
+
+A systolic design is built for a concrete problem size, but real workloads
+overflow it -- a Fig. 4 array instantiated for ``u`` word iterations must
+still handle accumulations of length ``L > u``.  The classical answer is
+*locally parallel, globally sequential* execution along the accumulation
+direction: slice the ``h̄₃`` chains into slabs of at most ``width`` word
+iterations, run each slab as one pass of the array, and carry the partial
+``z`` words between passes (they stay resident at their PEs; the model
+machine's ``z_init`` mechanism is exactly that hand-off).
+
+Soundness conditions, checked up front:
+
+* ``h̄₃`` must be a unit vector (the accumulation advances one iteration at
+  a time along a single axis -- true for every model in the paper);
+* every dependence vector must be nonnegative along that axis, so no
+  dependence points from a later pass into an earlier one (word pipelining
+  vectors with nonzero components on the slab axis are re-fed at each
+  pass's boundary, which the machine's boundary-input mechanism handles).
+
+The result is bit-exact: the partitioned product equals the monolithic one
+(mod ``2^{2p-1}``), with total time ``Σ`` pass makespans and the array
+footprint of a *single* slab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.expansion.expansions import Expansion, get_expansion
+from repro.machine.model import BitLevelModelMachine, ModelRun
+from repro.mapping.transform import MappingMatrix
+
+__all__ = ["PartitionedModelMachine", "PartitionedRun"]
+
+Point = tuple[int, ...]
+
+
+@dataclass
+class PartitionedRun:
+    """Result of a multi-pass execution."""
+
+    outputs: dict[Point, int]
+    passes: list[ModelRun]
+    total_makespan: int
+    processor_count: int
+
+    @property
+    def pass_count(self) -> int:
+        return len(self.passes)
+
+
+class PartitionedModelMachine:
+    """Run a model-(3.5) instance in accumulation slabs on one array.
+
+    Parameters mirror :class:`~repro.machine.model.BitLevelModelMachine`;
+    ``width`` is the slab depth (word iterations per pass along the
+    accumulation axis).  The mapping must be feasible for a single slab --
+    it is reused, unchanged, for every pass.
+    """
+
+    def __init__(
+        self,
+        h1: Sequence[int],
+        h2: Sequence[int],
+        h3: Sequence[int],
+        lowers: Sequence[int],
+        uppers: Sequence[int],
+        p: int,
+        mapping: MappingMatrix,
+        width: int,
+        expansion: str | Expansion = "II",
+    ):
+        self.n = len(h1)
+        self.h1 = tuple(int(x) for x in h1)
+        self.h2 = tuple(int(x) for x in h2)
+        self.h3 = tuple(int(x) for x in h3)
+        nonzero = [k for k, x in enumerate(self.h3) if x]
+        if len(nonzero) != 1 or self.h3[nonzero[0]] != 1:
+            raise ValueError(
+                "pass partitioning requires h̄₃ to be a unit vector; "
+                f"got {list(self.h3)}"
+            )
+        self.axis = nonzero[0]
+        for vec, name in ((self.h1, "h̄₁"), (self.h2, "h̄₂")):
+            if vec[self.axis] < 0:
+                raise ValueError(
+                    f"{name} has a negative component along the accumulation "
+                    "axis; a later pass would feed an earlier one"
+                )
+        if width < 1:
+            raise ValueError("slab width must be positive")
+        self.width = int(width)
+        self.lowers = tuple(int(x) for x in lowers)
+        self.uppers = tuple(int(x) for x in uppers)
+        self.p = int(p)
+        self.mapping = mapping
+        self.expansion = get_expansion(expansion)
+
+    def slab_bounds(self) -> list[tuple[int, int]]:
+        """The per-pass ranges of the accumulation axis."""
+        lo, hi = self.lowers[self.axis], self.uppers[self.axis]
+        out = []
+        start = lo
+        while start <= hi:
+            out.append((start, min(start + self.width - 1, hi)))
+            start += self.width
+        return out
+
+    def _slab_machine(self, lo: int, hi: int) -> BitLevelModelMachine:
+        lowers = list(self.lowers)
+        uppers = list(self.uppers)
+        lowers[self.axis] = lo
+        uppers[self.axis] = hi
+        return BitLevelModelMachine(
+            self.h1, self.h2, self.h3, lowers, uppers, self.p,
+            self.mapping, self.expansion.key,
+        )
+
+    def run(
+        self,
+        x_words: Mapping[Point, int],
+        y_words: Mapping[Point, int],
+        z_init: Mapping[Point, int] | None = None,
+    ) -> PartitionedRun:
+        """Execute all passes, chaining partial ``z`` words between them."""
+        z_carry: dict[Point, int] = dict(z_init or {})
+        passes: list[ModelRun] = []
+        total = 0
+        pes = 0
+        for lo, hi in self.slab_bounds():
+            machine = self._slab_machine(lo, hi)
+            slab_points = set(machine.word_set.points({}))
+            xw = {j: x_words[j] for j in slab_points}
+            yw = {j: y_words[j] for j in slab_points}
+            run = machine.run(xw, yw, z_init=z_carry)
+            passes.append(run)
+            total += run.sim.makespan
+            pes = max(pes, run.sim.processor_count)
+            # Chain: this pass's chain-end words seed the next pass's
+            # chain-start points (one h̄₃ step further).
+            z_carry = {
+                tuple(a + b for a, b in zip(j, self.h3)): v
+                for j, v in run.outputs.items()
+            }
+        final = passes[-1].outputs if passes else {}
+        return PartitionedRun(
+            outputs=dict(final),
+            passes=passes,
+            total_makespan=total,
+            processor_count=pes,
+        )
+
+    def reference(
+        self,
+        x_words: Mapping[Point, int],
+        y_words: Mapping[Point, int],
+        z_init: Mapping[Point, int] | None = None,
+    ) -> dict[Point, int]:
+        """The monolithic recurrence, for verification."""
+        machine = BitLevelModelMachine(
+            self.h1, self.h2, self.h3, self.lowers, self.uppers, self.p,
+            self.mapping, self.expansion.key,
+        )
+        return machine.reference(x_words, y_words, z_init)

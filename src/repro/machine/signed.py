@@ -1,0 +1,70 @@
+"""Signed workloads on the unsigned bit-level machines.
+
+The bit-level machines operate on nonnegative ``p``-bit words (like the
+paper's add-shift lattice).  Signal-processing workloads -- the paper names
+convolution, DCT and DFT -- have *signed* coefficient matrices.  The
+classical system-level answer, implemented here, is coefficient splitting:
+
+.. math::  C = C^+ - C^-,\\qquad  C^\\pm \\ge 0, \\qquad
+           C \\cdot S = C^+ \\cdot S - C^- \\cdot S
+
+Each half runs on the unmodified unsigned array; the subtraction happens at
+the word level on the outputs.  Splitting preserves every pipelining
+recurrence (it is pointwise on equal values), so nothing in the dependence
+structure or the mapping changes.  For bit-level *signed* arithmetic inside
+a single lattice see :mod:`repro.arith.baughwooley`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = ["split_signed", "signed_matmul"]
+
+Matrix = Sequence[Sequence[int]]
+
+
+def split_signed(values: Matrix) -> tuple[list[list[int]], list[list[int]]]:
+    """Split a signed integer matrix into nonnegative ``(plus, minus)``
+    parts with ``values = plus - minus``."""
+    plus = [[max(v, 0) for v in row] for row in values]
+    minus = [[max(-v, 0) for v in row] for row in values]
+    return plus, minus
+
+
+def signed_matmul(
+    run_unsigned: Callable[[Matrix, Matrix], list[list[int]]],
+    x_signed: Matrix,
+    y: Matrix,
+    modulus: int | None = None,
+) -> list[list[int]]:
+    """Compute ``X·Y`` for signed ``X`` using an unsigned matmul runner.
+
+    Parameters
+    ----------
+    run_unsigned:
+        ``(X, Y) -> Z`` on nonnegative operands (e.g. a bound
+        ``BitLevelMatmulMachine(...).run(...).product`` accessor).
+    x_signed:
+        Signed multiplicand matrix.
+    y:
+        Nonnegative multiplier matrix.
+    modulus:
+        When the runner computes mod ``m`` (the bit-level machines use
+        ``m = 2^{2p-1}``), pass it so the signed difference can be
+        recentred into ``[-m/2, m/2)``; results are then exact whenever
+        the true values fit that range.
+    """
+    plus, minus = split_signed(x_signed)
+    z_plus = run_unsigned(plus, y)
+    z_minus = run_unsigned(minus, y)
+    rows = len(z_plus)
+    cols = len(z_plus[0]) if rows else 0
+    out = [[z_plus[i][j] - z_minus[i][j] for j in range(cols)] for i in range(rows)]
+    if modulus is not None:
+        half = modulus // 2
+        out = [
+            [((v + half) % modulus) - half for v in row]
+            for row in out
+        ]
+    return out

@@ -1,0 +1,65 @@
+"""Linear space-time mapping of algorithms onto processor arrays.
+
+Implements the design method of Definition 4.1 (Shang/Fortes [5,6], Li/Wah
+[4], Ganapathy/Wah [10]) that the paper applies to its bit-level structures:
+
+* :mod:`repro.mapping.transform` -- the mapping matrix ``T = [S; Π]``;
+* :mod:`repro.mapping.interconnect` -- interconnection-primitive matrices
+  ``P`` and the ``S·D = P·K`` factorization under the arrival constraint
+  (4.1), including buffer accounting;
+* :mod:`repro.mapping.feasibility` -- the five feasibility conditions;
+* :mod:`repro.mapping.conflicts` -- exact computational-conflict detection;
+* :mod:`repro.mapping.schedule` -- execution time (4.5), optimal linear
+  schedule search, and time-optimality certification;
+* :mod:`repro.mapping.spacetime` -- processor counts and array geometry;
+* :mod:`repro.mapping.designs` -- the paper's concrete designs: ``T`` of
+  (4.2) with ``P, K`` of (4.3) (Fig. 4), ``T'`` of (4.6) with ``P', K'`` of
+  (4.7) (Fig. 5), and the word-level baseline of Section 4.2.
+"""
+
+from repro.mapping.transform import MappingMatrix
+from repro.mapping.interconnect import (
+    InterconnectSolution,
+    mesh_primitives,
+    solve_interconnect,
+)
+from repro.mapping.feasibility import FeasibilityReport, check_feasibility
+from repro.mapping.conflicts import find_conflicts, is_conflict_free
+from repro.mapping.schedule import (
+    execution_time,
+    find_optimal_schedule,
+    schedule_is_valid,
+)
+from repro.mapping.spacetime import processor_count, space_extents
+from repro.mapping.throughput import (
+    pipelining_period,
+    steady_state_utilization,
+)
+from repro.mapping.bounds import (
+    critical_path_length,
+    free_schedule_time,
+    free_schedule_times,
+)
+from repro.mapping import designs
+
+__all__ = [
+    "MappingMatrix",
+    "InterconnectSolution",
+    "mesh_primitives",
+    "solve_interconnect",
+    "FeasibilityReport",
+    "check_feasibility",
+    "find_conflicts",
+    "is_conflict_free",
+    "execution_time",
+    "find_optimal_schedule",
+    "schedule_is_valid",
+    "processor_count",
+    "space_extents",
+    "critical_path_length",
+    "free_schedule_time",
+    "free_schedule_times",
+    "pipelining_period",
+    "steady_state_utilization",
+    "designs",
+]

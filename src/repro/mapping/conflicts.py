@@ -1,0 +1,78 @@
+"""Computational-conflict detection (condition 3 of Definition 4.1).
+
+Two distinct index points ``j̄₁ ≠ j̄₂`` with ``T j̄₁ = T j̄₂`` would execute
+on the same processor at the same time.  The check here is exact and comes
+in two flavors:
+
+* a *lattice* check: enumerate the integer nullspace of ``T`` inside the
+  difference box of the index set -- any nonzero point is a conflict
+  direction (this is binding-parametric only through the box);
+* a *certificate* producer: return concrete colliding pairs for diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.depanalysis.diophantine import UnboundedLatticeError, bounded_lattice_points
+from repro.mapping.transform import MappingMatrix
+from repro.structures.indexset import IndexSet
+from repro.structures.params import ParamBinding
+from repro.util.linalg import integer_nullspace
+
+__all__ = ["is_conflict_free", "find_conflicts", "conflict_directions"]
+
+
+def conflict_directions(
+    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+) -> list[tuple[int, ...]]:
+    """Nonzero integer vectors ``δ̄`` with ``T δ̄ = 0`` fitting in the
+    difference box of the index set (each is a family of conflicts)."""
+    nullspace = integer_nullspace([list(r) for r in t.rows])
+    if not nullspace:
+        return []
+    bounds = index_set.bounds(binding)
+    diff_box = [(lo - hi, hi - lo) for lo, hi in bounds]
+    out = []
+    try:
+        for vec in bounded_lattice_points([0] * t.n, nullspace, diff_box):
+            if any(vec):
+                out.append(tuple(vec))
+    except UnboundedLatticeError:
+        # A nullspace direction unconstrained by the box: infinitely many
+        # conflicts; report the raw basis vector.
+        return [tuple(v) for v in nullspace]
+    return out
+
+
+def is_conflict_free(
+    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+) -> bool:
+    """True when ``τ`` is injective on the instantiated index set.
+
+    For affine-constrained index sets the lattice test over the bounding
+    box would be conservative (a conflict direction may fit the box but
+    not the actual domain), so exact hashing is used instead.
+    """
+    if getattr(index_set, "is_constrained", False):
+        return not find_conflicts(t, index_set, binding, limit=1)
+    return not conflict_directions(t, index_set, binding)
+
+
+def find_conflicts(
+    t: MappingMatrix,
+    index_set: IndexSet,
+    binding: ParamBinding,
+    limit: int = 10,
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Concrete colliding index-point pairs (up to ``limit``), by hashing
+    ``T j̄`` over the enumerated index set.  Useful for error messages."""
+    seen: dict[tuple, tuple[int, ...]] = {}
+    out: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for point in index_set.points(binding):
+        image = (t.processor_of(point), t.time_of(point))
+        if image in seen:
+            out.append((seen[image], point))
+            if len(out) >= limit:
+                break
+        else:
+            seen[image] = point
+    return out

@@ -1,0 +1,122 @@
+"""The five feasibility conditions of Definition 4.1, checked exactly.
+
+1. ``Π D > 0̄`` -- the schedule respects every dependence.
+2. ``S·D = P·K`` with ``Σ_j k_ji <= Π d̄_i`` -- every dependence
+   displacement is realizable on the target interconnect before the datum is
+   needed (condition (4.1)); slack becomes link buffers.
+3. ``τ`` injective on ``J`` -- no two computations share a processor-time
+   slot.
+4. ``rank(T) = k`` -- the design genuinely uses ``k-1`` space dimensions.
+5. The entries of ``T`` are relatively prime -- no globally idle beat.
+
+:func:`check_feasibility` evaluates all five on a concrete instance and
+returns a structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.mapping.conflicts import conflict_directions
+from repro.mapping.interconnect import InterconnectSolution, solve_interconnect
+from repro.mapping.transform import MappingMatrix
+from repro.structures.algorithm import Algorithm
+from repro.structures.params import ParamBinding
+
+__all__ = ["FeasibilityReport", "check_feasibility"]
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of the five-condition feasibility check."""
+
+    schedule_valid: bool  # condition 1
+    interconnect: InterconnectSolution | None  # condition 2 (None = untested)
+    interconnect_ok: bool
+    conflict_free: bool  # condition 3
+    conflicts: list = field(default_factory=list)
+    rank_ok: bool = False  # condition 4
+    coprime_ok: bool = False  # condition 5
+
+    @property
+    def feasible(self) -> bool:
+        """All checked conditions hold."""
+        return (
+            self.schedule_valid
+            and self.interconnect_ok
+            and self.conflict_free
+            and self.rank_ok
+            and self.coprime_ok
+        )
+
+    def summary(self) -> str:
+        """One-line pass/fail breakdown."""
+        flags = [
+            ("ΠD>0", self.schedule_valid),
+            ("SD=PK", self.interconnect_ok),
+            ("no-conflict", self.conflict_free),
+            ("rank", self.rank_ok),
+            ("coprime", self.coprime_ok),
+        ]
+        return ", ".join(f"{name}:{'ok' if ok else 'FAIL'}" for name, ok in flags)
+
+
+def check_feasibility(
+    t: MappingMatrix,
+    algorithm: Algorithm,
+    binding: ParamBinding,
+    primitives: Sequence[Sequence[int]] | None = None,
+) -> FeasibilityReport:
+    """Check Definition 4.1 for a mapping on a concrete algorithm instance.
+
+    Parameters
+    ----------
+    t:
+        The mapping matrix ``T = [S; Π]``.
+    algorithm:
+        The algorithm ``(J, D, E)``; validity conditions on dependence
+        vectors do not weaken the check (a vector valid anywhere must be
+        respected by the schedule everywhere it applies, and the paper's
+        conditions are all checked against the full ``D``).
+    binding:
+        Parameter values instantiating ``J``.
+    primitives:
+        Interconnection primitive matrix ``P``; when omitted, condition 2 is
+        recorded as trivially satisfied (unconstrained target).
+    """
+    n = algorithm.dim
+    if t.n != n:
+        raise ValueError(
+            f"mapping width {t.n} does not match algorithm dimension {n}"
+        )
+    schedule = t.schedule
+    schedule_valid = all(
+        sum(c * d for c, d in zip(schedule, vec.vector)) > 0
+        for vec in algorithm.dependences
+    )
+
+    interconnect: InterconnectSolution | None = None
+    interconnect_ok = True
+    if primitives is not None:
+        d_cols = algorithm.dependences.columns()
+        d_matrix = [[col[row] for col in d_cols] for row in range(n)]
+        interconnect = solve_interconnect(t.space, d_matrix, schedule, primitives)
+        interconnect_ok = interconnect is not None
+
+    if getattr(algorithm.index_set, "is_constrained", False):
+        from repro.mapping.conflicts import find_conflicts
+
+        directions = find_conflicts(t, algorithm.index_set, binding, limit=5)
+    else:
+        directions = conflict_directions(t, algorithm.index_set, binding)
+
+    return FeasibilityReport(
+        schedule_valid=schedule_valid,
+        interconnect=interconnect,
+        interconnect_ok=interconnect_ok,
+        conflict_free=not directions,
+        conflicts=directions,
+        rank_ok=t.rank() == t.k,
+        coprime_ok=t.entries_coprime(),
+    )

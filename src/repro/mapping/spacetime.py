@@ -1,0 +1,41 @@
+"""Space-mapping geometry: processor counts and array extents.
+
+The paper reports ``s = |{S q̄ : q̄ ∈ J}| = u²p²`` processors for the
+design of Fig. 4 and ``(u·p)²`` for Fig. 5.  :func:`processor_count` computes
+``|S(J)|`` exactly by enumeration, and :func:`space_extents` gives the
+bounding box of the processor array (its physical footprint).
+"""
+
+from __future__ import annotations
+
+from repro.mapping.transform import MappingMatrix
+from repro.structures.indexset import IndexSet
+from repro.structures.params import ParamBinding
+
+__all__ = ["processor_count", "space_extents", "processor_set"]
+
+
+def processor_set(
+    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+) -> set[tuple[int, ...]]:
+    """The exact image ``{S q̄ : q̄ ∈ J}``."""
+    return {t.processor_of(point) for point in index_set.points(binding)}
+
+
+def processor_count(
+    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+) -> int:
+    """``|S(J)|`` -- the number of processors the design uses."""
+    return len(processor_set(t, index_set, binding))
+
+
+def space_extents(
+    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+) -> list[tuple[int, int]]:
+    """Per-dimension ``(min, max)`` processor coordinates (array footprint)."""
+    procs = processor_set(t, index_set, binding)
+    dims = len(next(iter(procs))) if procs else 0
+    return [
+        (min(pr[d] for pr in procs), max(pr[d] for pr in procs))
+        for d in range(dims)
+    ]

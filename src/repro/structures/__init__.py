@@ -1,0 +1,55 @@
+"""Algorithm dependence structures: the triplet ``(J, D, E)``.
+
+The paper characterizes an algorithm by a triplet ``A = (J, D, E)`` where
+
+* ``J`` is the *index set* (iteration space) -- here a parametric integer box,
+  :class:`repro.structures.IndexSet`;
+* ``D`` is the *dependence matrix* whose columns are the distinct dependence
+  vectors, each optionally restricted to a validity subdomain of ``J`` --
+  :class:`repro.structures.DependenceVector` and
+  :class:`repro.structures.DependenceMatrix`;
+* ``E`` records the computations performed in each iteration --
+  :class:`repro.structures.ComputationSet`.
+
+Bounds and validity conditions may reference symbolic parameters (the word
+length ``p``, the problem size ``u``) through :class:`repro.structures.LinExpr`
+so the structures can be stated exactly as in the paper, then instantiated
+numerically for enumeration and simulation.
+"""
+
+from repro.structures.params import LinExpr, ParamBinding, S
+from repro.structures.conditions import (
+    And,
+    Condition,
+    Eq,
+    FALSE,
+    Ne,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.structures.indexset import IndexSet
+from repro.structures.constrained import AffineConstraint, ConstrainedIndexSet
+from repro.structures.dependence import DependenceMatrix, DependenceVector
+from repro.structures.algorithm import Algorithm, ComputationSet
+
+__all__ = [
+    "LinExpr",
+    "ParamBinding",
+    "S",
+    "Condition",
+    "Eq",
+    "Ne",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "IndexSet",
+    "AffineConstraint",
+    "ConstrainedIndexSet",
+    "DependenceVector",
+    "DependenceMatrix",
+    "Algorithm",
+    "ComputationSet",
+]

@@ -1,0 +1,68 @@
+"""Tests for the non-restoring divider."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.division import NonRestoringDivider, division_row_structure
+from repro.mapping.schedule import execution_time, find_optimal_schedule
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_exhaustive(self, p):
+        d = NonRestoringDivider(p)
+        for a in range(1 << p):
+            for b in range(1, 1 << p):
+                assert d.divide(a, b) == (a // b, a % b)
+
+    @given(st.integers(5, 12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_large(self, p, data):
+        a = data.draw(st.integers(0, (1 << p) - 1))
+        b = data.draw(st.integers(1, (1 << p) - 1))
+        assert NonRestoringDivider(p).divide(a, b) == (a // b, a % b)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            NonRestoringDivider(3).divide(5, 0)
+
+    def test_dividend_range_checked(self):
+        with pytest.raises(ValueError):
+            NonRestoringDivider(3).divide(8, 1)
+
+    def test_trace_rows(self):
+        t = NonRestoringDivider(3).trace(7, 2)
+        assert len(t["rows"]) == 3
+        assert t["quotient"] == 3 and t["remainder"] == 1
+        assert t["rows"][0]["control"] == 1  # first row subtracts
+
+    def test_correction_happens(self):
+        # 1 / 3 at p = 2: the last partial remainder is negative.
+        t = NonRestoringDivider(2).trace(1, 3)
+        assert t["corrected"]
+        assert (t["quotient"], t["remainder"]) == (0, 1)
+
+    def test_steps_quadratic(self):
+        assert NonRestoringDivider(4).steps == 4 * 6 + 6
+        assert NonRestoringDivider(8).cycles == 8 * 10 + 10
+
+
+class TestRowStructure:
+    def test_shape(self):
+        alg = division_row_structure(5)
+        assert alg.dim == 1
+        assert alg.is_uniform
+        assert [v.vector for v in alg.dependences] == [(1,)]
+        assert set(alg.dependences[0].causes) == {"R", "T", "b"}
+
+    def test_schedulable(self):
+        # The row-level chain is linearly schedulable (unlike the
+        # cell-level array; see the module docstring).
+        alg = division_row_structure(6)
+        best = find_optimal_schedule(alg, {"p": 6}, coeff_bound=1)
+        assert best is not None
+        assert best[1] == 6  # one row per beat
+
+    def test_symbolic_bounds(self):
+        alg = division_row_structure()
+        assert "p" in alg.index_set.params()

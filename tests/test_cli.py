@@ -1,0 +1,54 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestTopLevelCli:
+    def test_structure(self, capsys):
+        assert main(["structure", "--u", "2", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "5-dimensional" in out
+        assert "c'" in out
+
+    def test_structure_expansion1(self, capsys):
+        assert main(["structure", "--expansion", "I"]) == 0
+        assert "expI" in capsys.readouterr().out
+
+    def test_design(self, capsys):
+        assert main(["design", "--u", "2", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "Fig. 5" in out
+        assert "t = 7" in out and "t = 9" in out
+
+    def test_simulate_fig4(self, capsys):
+        assert main(["simulate", "--u", "2", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "product correct" in out and "True" in out
+
+    def test_simulate_fig5_with_gantt(self, capsys):
+        assert main(
+            ["simulate", "--u", "2", "--p", "2", "--design", "fig5", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExperimentsCli:
+    def test_single_experiment(self, capsys):
+        assert experiments_main(["e1"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASS" in out
+
+    def test_unknown_id(self, capsys):
+        assert experiments_main(["e99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_multiple(self, capsys):
+        assert experiments_main(["e8", "e1"]) == 0

@@ -1,0 +1,52 @@
+"""Tests for direction-vector summaries."""
+
+from repro.depanalysis import analyze
+from repro.depanalysis.direction import (
+    carried_loops,
+    direction_of,
+    direction_vectors,
+    parallel_loops,
+)
+from repro.ir.builders import matmul_pipelined, model_1d
+
+
+class TestDirectionOf:
+    def test_forward(self):
+        assert direction_of((1, 0, 0)) == "(<,=,=)"
+
+    def test_mixed(self):
+        assert direction_of((0, 1, -1)) == "(=,<,>)"
+
+    def test_zero(self):
+        assert direction_of((0, 0)) == "(=,=)"
+
+
+class TestSummaries:
+    def test_matmul_directions(self):
+        res = analyze(matmul_pipelined(3), {"u": 3}, "enumerate")
+        dirs = direction_vectors(res)
+        assert set(dirs) == {"(<,=,=)", "(=,<,=)", "(=,=,<)"}
+        # Each of the 3 vectors contributes (u-1)*u² = 18 instances.
+        assert all(count == 18 for count in dirs.values())
+
+    def test_1d(self):
+        res = analyze(model_1d(upper=4), {}, "enumerate")
+        assert set(direction_vectors(res)) == {"(<)"}
+
+
+class TestLoopParallelism:
+    def test_matmul_all_loops_carried(self):
+        # Pipelined matmul: every loop carries a dependence (x along j2,
+        # y along j1, z along j3) -- no fully parallel loop.
+        res = analyze(matmul_pipelined(2), {"u": 2}, "enumerate")
+        assert carried_loops(res.distinct_vectors()) == {0, 1, 2}
+        assert parallel_loops(res.distinct_vectors(), 3) == set()
+
+    def test_inner_equal_positions_do_not_carry(self):
+        # Distances (1, -1) are carried by loop 0 only.
+        assert carried_loops([(1, -1)]) == {0}
+        assert parallel_loops([(1, -1)], 2) == {1}
+
+    def test_empty(self):
+        assert carried_loops([]) == set()
+        assert parallel_loops([], 2) == {0, 1}

@@ -1,0 +1,99 @@
+"""Tests for flow/anti/output analysis of multi-write programs."""
+
+import pytest
+
+from repro.depanalysis import analyze
+from repro.depanalysis.multiwrite import analyze_multiwrite
+from repro.ir.builders import matmul_pipelined
+from repro.ir.expr import var
+from repro.ir.program import ArrayAccess, LoopNest, Statement
+from repro.ir.transform import to_single_assignment
+from repro.structures.indexset import IndexSet
+from tests.test_ir_transform import accumulation_matmul
+
+
+class TestAccumulationMatmul:
+    """Example 2.1 before single-assignment conversion."""
+
+    def test_output_dependences_present(self):
+        res = analyze_multiwrite(accumulation_matmul(), {})
+        out = [i for i in res.instances if i.kind == "output"]
+        assert out
+        # z(j1, j2) rewritten each j3 step: vector (0, 0, 1).
+        assert {i.vector for i in out} == {(0, 0, 1)}
+
+    def test_flow_and_output_on_accumulator(self):
+        res = analyze_multiwrite(accumulation_matmul(), {})
+        kinds = {i.kind for i in res.instances if i.variable == "z"}
+        # The read and the overwrite of z(j1,j2) happen within one
+        # iteration, so the only *cross-iteration* kinds are flow and
+        # output (anti would have distance 0).
+        assert kinds == {"flow", "output"}
+        assert all(
+            i.vector == (0, 0, 1)
+            for i in res.instances
+            if i.variable == "z"
+        )
+
+    def test_single_assignment_conversion_removes_them(self):
+        sa = to_single_assignment(accumulation_matmul())
+        res = analyze_multiwrite(sa, {})
+        assert all(i.kind == "flow" for i in res.instances)
+
+    def test_counts(self):
+        res = analyze_multiwrite(accumulation_matmul(), {})
+        u = 3
+        per_kind = {}
+        for i in res.instances:
+            per_kind[i.kind] = per_kind.get(i.kind, 0) + 1
+        # One chain of u-1 steps per (j1, j2) entry for each kind on z.
+        z_chains = u * u * (u - 1)
+        assert per_kind["output"] == z_chains
+        assert per_kind["flow"] >= z_chains
+
+
+class TestAgreementOnSingleAssignment:
+    def test_flow_matches_plain_analyzer(self):
+        prog = matmul_pipelined(3)
+        multi = analyze_multiwrite(prog, {"u": 3}, kinds=("flow",))
+        plain = analyze(prog, {"u": 3}, "enumerate")
+        assert set(multi.instances) == set(plain.instances)
+
+    def test_no_anti_or_output_on_single_assignment(self):
+        prog = matmul_pipelined(2)
+        res = analyze_multiwrite(prog, {"u": 2})
+        assert all(i.kind == "flow" for i in res.instances)
+
+
+class TestKindsSelection:
+    def test_subset(self):
+        res = analyze_multiwrite(accumulation_matmul(), {}, kinds=("output",))
+        assert res.instances
+        assert all(i.kind == "output" for i in res.instances)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            analyze_multiwrite(accumulation_matmul(), {}, kinds=("war",))
+
+
+class TestAntiDependence:
+    def test_classic_war(self):
+        # x read at j, overwritten at j+1: anti distance (1,).
+        j = var("j")
+        prog = LoopNest(
+            ("j",),
+            IndexSet([1], [4], ("j",)),
+            [
+                Statement(
+                    "S",
+                    ArrayAccess("x", [j]),
+                    [ArrayAccess("x", [j + 1])],
+                )
+            ],
+        )
+        res = analyze_multiwrite(prog, {})
+        anti = [i for i in res.instances if i.kind == "anti"]
+        assert anti
+        assert all(i.vector == (1,) for i in anti)
+        # The read sees the *original* value, so no flow dependence arises.
+        assert not [i for i in res.instances if i.kind == "flow"]

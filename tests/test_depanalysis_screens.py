@@ -1,0 +1,116 @@
+"""Tests for the GCD and Banerjee screening tests."""
+
+import pytest
+
+from repro.depanalysis.banerjee import affine_range, banerjee_test
+from repro.depanalysis.gcdtest import gcd_test
+from repro.ir.expr import var
+from repro.ir.program import ArrayAccess
+from repro.structures.indexset import IndexSet
+
+
+J = var("j")
+K = var("k")
+ORDER = ("j", "k")
+BOX = IndexSet([1, 1], [10, 10], ORDER)
+
+
+class TestGcdTest:
+    def test_dependence_possible(self):
+        w = ArrayAccess("a", [2 * J])
+        r = ArrayAccess("a", [2 * K + 4])
+        assert gcd_test(w, r, ORDER, {})
+
+    def test_pruned_by_parity(self):
+        # 2j' == 2k + 1 has no integer solutions.
+        w = ArrayAccess("a", [2 * J])
+        r = ArrayAccess("a", [2 * K + 1])
+        assert not gcd_test(w, r, ORDER, {})
+
+    def test_different_arrays_independent(self):
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("b", [J])
+        assert not gcd_test(w, r, ORDER, {})
+
+    def test_constant_subscripts_equal(self):
+        w = ArrayAccess("a", [J - J + 3])
+        r = ArrayAccess("a", [K - K + 3])
+        assert gcd_test(w, r, ORDER, {})
+
+    def test_constant_subscripts_unequal(self):
+        w = ArrayAccess("a", [J - J + 3])
+        r = ArrayAccess("a", [K - K + 5])
+        assert not gcd_test(w, r, ORDER, {})
+
+    def test_rank_mismatch_raises(self):
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [J, K])
+        with pytest.raises(ValueError):
+            gcd_test(w, r, ORDER, {})
+
+    def test_multi_subscript_all_must_pass(self):
+        w = ArrayAccess("a", [J, 2 * J])
+        r = ArrayAccess("a", [K, 2 * K + 1])
+        assert not gcd_test(w, r, ORDER, {})
+
+    def test_conservative_never_misses(self):
+        # Same element a(5) written and read: dependence must be possible.
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [K + 1])
+        assert gcd_test(w, r, ORDER, {})
+
+
+class TestAffineRange:
+    def test_positive_coeffs(self):
+        assert affine_range([2, 3], [(1, 4), (0, 2)]) == (2, 14)
+
+    def test_negative_coeffs(self):
+        assert affine_range([-1], [(2, 5)]) == (-5, -2)
+
+    def test_mixed(self):
+        assert affine_range([1, -1], [(1, 3), (1, 3)]) == (-2, 2)
+
+    def test_empty(self):
+        assert affine_range([], []) == (0, 0)
+
+
+class TestBanerjeeTest:
+    def test_dependence_possible(self):
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [K + 1])
+        assert banerjee_test(w, r, ORDER, BOX, {})
+
+    def test_pruned_by_magnitude(self):
+        # a(j') vs a(k + 100): offset exceeds the box spread.
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [K + 100])
+        assert not banerjee_test(w, r, ORDER, BOX, {})
+
+    def test_different_arrays(self):
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("b", [J])
+        assert not banerjee_test(w, r, ORDER, BOX, {})
+
+    def test_boundary_exact(self):
+        # Offset exactly the spread: still possible (j'=10, k=1).
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [K - 9])
+        assert banerjee_test(w, r, ORDER, BOX, {})
+        # One more and it is pruned.
+        r2 = ArrayAccess("a", [K - 10])
+        assert not banerjee_test(w, r2, ORDER, BOX, {})
+
+    def test_complement_of_gcd(self):
+        # Passes GCD (gcd 1 divides everything) but fails Banerjee.
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [K + 50])
+        assert gcd_test(w, r, ORDER, {})
+        assert not banerjee_test(w, r, ORDER, BOX, {})
+
+    def test_symbolic_offset(self):
+        from repro.structures.params import S
+
+        w = ArrayAccess("a", [J])
+        r = ArrayAccess("a", [K + S("u")])
+        assert banerjee_test(w, r, ORDER, BOX, {"u": 5})
+        assert not banerjee_test(w, r, ORDER, BOX, {"u": 50})

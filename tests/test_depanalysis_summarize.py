@@ -1,0 +1,140 @@
+"""Tests for symbolic summarization of validity domains."""
+
+import pytest
+
+from repro.depanalysis import analyze
+from repro.depanalysis.summarize import (
+    candidate_atoms,
+    summarize_result,
+    summarize_validity,
+)
+from repro.ir.builders import addshift_pipelined, matmul_pipelined
+from repro.ir.expand import expand_bit_level
+from repro.structures.conditions import And, Eq, Ne, Or, TRUE
+from repro.structures.indexset import IndexSet
+from repro.structures.params import S
+
+
+class TestCandidateAtoms:
+    def test_axis_bounds_present(self):
+        j = IndexSet([1, 1], [S("p"), S("p")], ("i1", "i2"))
+        atoms = candidate_atoms(j, {"p": 3})
+        assert Eq(0, 1) in atoms
+        assert Eq(0, S("p")) in atoms
+        assert Ne(1, 1) in atoms
+
+    def test_degenerate_axis_skipped(self):
+        j = IndexSet([1, 1], [1, 5])
+        atoms = candidate_atoms(j, {})
+        assert all(a.axis != 0 for a in atoms)  # type: ignore[attr-defined]
+
+    def test_second_band_present(self):
+        # The paper's "i2 != 1, 2" shape needs an atom at lo + 1.
+        j = IndexSet([1], [5])
+        atoms = candidate_atoms(j, {})
+        assert Ne(0, 2) in atoms
+
+
+class TestSummarizeValidity:
+    J2 = IndexSet([1, 1], [S("p"), S("p")], ("i1", "i2"))
+    B = {"p": 4}
+
+    def points(self, pred):
+        return [pt for pt in self.J2.points(self.B) if pred(pt)]
+
+    def test_uniform(self):
+        cond = summarize_validity(list(self.J2.points(self.B)), self.J2, self.B)
+        assert cond == TRUE
+
+    def test_single_eq(self):
+        cond = summarize_validity(
+            self.points(lambda q: q[0] == 1), self.J2, self.B
+        )
+        assert cond == Eq(0, 1)
+
+    def test_single_ne(self):
+        cond = summarize_validity(
+            self.points(lambda q: q[1] != 1), self.J2, self.B
+        )
+        assert cond == Ne(1, 1)
+
+    def test_boundary_or(self):
+        # The paper's q̄₂: i1 = p or i2 = 1.
+        cond = summarize_validity(
+            self.points(lambda q: q[0] == 4 or q[1] == 1), self.J2, self.B
+        )
+        assert isinstance(cond, Or)
+        for pt in self.J2.points(self.B):
+            assert cond.holds(pt, self.B) == (pt[0] == 4 or pt[1] == 1)
+
+    def test_conjunction(self):
+        cond = summarize_validity(
+            self.points(lambda q: q[0] != 1 and q[1] != 1), self.J2, self.B
+        )
+        for pt in self.J2.points(self.B):
+            assert cond.holds(pt, self.B) == (pt[0] != 1 and pt[1] != 1)
+
+    def test_symbolic_bound_preferred_in_output(self):
+        # Against a symbolic upper bound, the summarizer emits Eq(axis, p).
+        cond = summarize_validity(
+            self.points(lambda q: q[0] == 4), self.J2, self.B
+        )
+        assert cond == Eq(0, S("p"))
+
+    def test_unsummarizable_returns_none(self):
+        # A checkerboard has no small And/Or description.
+        pts = self.points(lambda q: (q[0] + q[1]) % 2 == 0)
+        assert summarize_validity(pts, self.J2, self.B) is None
+
+    def test_empty_set(self):
+        # No point set matches FALSE in the hypothesis space; None is fine,
+        # or an unsatisfiable combination -- accept either but require
+        # correctness if a condition is returned.
+        cond = summarize_validity([], self.J2, self.B)
+        if cond is not None:
+            assert not any(cond.holds(pt, self.B) for pt in self.J2.points(self.B))
+
+
+class TestSummarizeResult:
+    def test_addshift_recovery(self):
+        prog = addshift_pipelined(4)
+        res = analyze(prog, {"p": 4}, "enumerate")
+        mat = summarize_result(res, prog.index_set, {"p": 4})
+        by_vec = {v.vector: v for v in mat}
+        # a pipelining: effective where the source row exists.
+        assert by_vec[(1, 0)].validity == Ne(0, 1)
+        assert by_vec[(0, 1)].validity == Ne(1, 1)
+
+    def test_matmul_recovery(self):
+        prog = matmul_pipelined(3)
+        res = analyze(prog, {"u": 3}, "enumerate")
+        mat = summarize_result(res, prog.index_set, {"u": 3})
+        by_vec = {v.vector: v for v in mat}
+        assert by_vec[(0, 0, 1)].validity == Ne(2, 1)
+
+    def test_expanded_program_exact_extension(self):
+        # Whatever conditions come out, they must describe the observed
+        # sink sets exactly.
+        prog = expand_bit_level([1], [1], [1], [1], [3], 3, "II")
+        binding = {"p": 3, "u": 3}
+        res = analyze(prog, {}, "enumerate")
+        mat = summarize_result(res, prog.index_set, binding)
+        for vec in mat:
+            observed = res.sinks_of(vec.vector)
+            described = {
+                pt for pt in prog.index_set.points({})
+                if vec.valid_at(pt, binding)
+            }
+            assert described == observed, vec
+
+    def test_c2_region_recovered(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 4, "II")
+        res = analyze(prog, {}, "enumerate")
+        mat = summarize_result(res, prog.index_set, {"p": 4})
+        c2 = next(v for v in mat if v.vector == (0, 0, 2))
+        # Effective region: i1 = p and i2 >= 3.  At p = 4 the summarizer
+        # finds (i1 = 4 and i2 != 1 and i2 != 2).
+        assert isinstance(c2.validity, And)
+        for pt in prog.index_set.points({}):
+            want = pt[1] == 4 and pt[2] >= 3
+            assert c2.valid_at(pt, {"p": 4}) == want

@@ -1,0 +1,73 @@
+"""Tests for expansion recognition (the 'program existing arrays' direction)."""
+
+import pytest
+
+from repro.expansion.recognize import RecognitionReport, recognize_expansion
+from repro.ir.builders import matmul_pipelined
+from repro.ir.expand import expand_bit_level
+
+
+class TestRecognizesGeneratedPrograms:
+    CASES = [
+        ([1], [1], [1], [1], [4], 3, "II"),
+        ([1], [1], [1], [1], [4], 3, "I"),
+        ([2], [1], [1], [1], [5], 2, "II"),
+        ([0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [2, 2, 2], 2, "II"),
+        ([0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [2, 2, 2], 2, "I"),
+        ([1, 0], [1, -1], [0, 1], [1, 1], [3, 3], 2, "II"),
+    ]
+
+    @pytest.mark.parametrize("h1,h2,h3,lo,up,p,exp", CASES)
+    def test_round_trip(self, h1, h2, h3, lo, up, p, exp):
+        prog = expand_bit_level(h1, h2, h3, lo, up, p, exp)
+        rep = recognize_expansion(prog)
+        assert rep.recognized, rep.summary()
+        assert rep.expansion == exp
+        assert rep.p == p
+        assert rep.word_dim == len(h1)
+
+    def test_recovers_distinct_vectors(self):
+        prog = expand_bit_level([2], [1], [3], [1], [7], 2, "II")
+        rep = recognize_expansion(prog)
+        assert rep.recognized
+        assert (rep.h1, rep.h2, rep.h3) == ((2,), (1,), (3,))
+
+    def test_summary_format(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "I")
+        rep = recognize_expansion(prog)
+        assert "Expansion I" in rep.summary()
+
+
+class TestRejections:
+    def test_too_few_dimensions(self):
+        rep = recognize_expansion(matmul_pipelined(2))
+        # 3-D: word dim would be 1 + a 2x2 "lattice" of size u -- the
+        # analysis rejects it either on shape or on reconstruction.
+        assert not rep.recognized
+
+    def test_non_square_lattice(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "II", p2=3)
+        rep = recognize_expansion(prog)
+        assert not rep.recognized
+        assert "square" in rep.reason
+
+    def test_failure_summary(self):
+        rep = RecognitionReport(False, reason="because")
+        assert rep.summary() == "not recognized: because"
+
+    def test_corrupted_program_rejected(self):
+        # Remove the c' statement: the dependence set no longer matches any
+        # Theorem 3.1 reconstruction.
+        from repro.ir.program import LoopNest
+
+        prog = expand_bit_level([1], [1], [1], [1], [3], 3, "II")
+        stripped = LoopNest(
+            prog.index_names,
+            prog.index_set,
+            [s for s in prog.statements if s.write.array != "c2"
+             and all(a.array != "c2" for a in s.reads)],
+            "stripped",
+        )
+        rep = recognize_expansion(stripped)
+        assert not rep.recognized
+        assert rep.edge_mismatches > 0

@@ -1,0 +1,134 @@
+"""Tests for the bit-level functional evaluators (both expansions)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expansion.semantics import BitLevelEvaluator, LatticeSweep
+
+
+class TestLatticeSweep:
+    def test_empty_sweep(self):
+        sweep = LatticeSweep(2)
+        sweep.run()
+        assert all(b == 0 for b in sweep.sum_bits.values())
+        assert sweep.boundary_word() == 0
+
+    def test_single_multiplication(self):
+        # Seeding partial products of 3 x 3 at p = 2 must give 9 mod 8 = 1.
+        sweep = LatticeSweep(2)
+        for i1 in (1, 2):
+            for i2 in (1, 2):
+                sweep.seed((i1, i2), 1)  # all pp bits of 3 x 3 are 1
+        sweep.run()
+        assert sweep.boundary_word() == (3 * 3) & 0b111
+
+    def test_overflow_guard(self):
+        sweep = LatticeSweep(1)
+        for _ in range(8):
+            sweep.seed((1, 1), 1)
+        with pytest.raises(AssertionError):
+            sweep.run()
+
+    def test_dropped_positions_beyond_2p(self):
+        sweep = LatticeSweep(1)
+        for _ in range(4):
+            sweep.seed((1, 1), 1)  # value 4 = carry2 at position 3 > 2p-1
+        sweep.run()
+        assert sweep.dropped_positions
+
+    def test_max_summands_tracked(self):
+        sweep = LatticeSweep(2)
+        for _ in range(3):
+            sweep.seed((1, 1), 1)
+        sweep.run()
+        assert sweep.max_summands >= 3
+
+
+class TestEvaluatorBasics:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            BitLevelEvaluator(0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BitLevelEvaluator(2).accumulate([1], [1, 2])
+
+    @pytest.mark.parametrize("exp", ["I", "II"])
+    def test_empty_stream_returns_init(self, exp):
+        ev = BitLevelEvaluator(3, exp)
+        assert ev.accumulate([], [], z_init=21) == 21
+
+    @pytest.mark.parametrize("exp", ["I", "II"])
+    def test_single_product(self, exp):
+        ev = BitLevelEvaluator(3, exp)
+        assert ev.accumulate([5], [6]) == 30
+
+    @pytest.mark.parametrize("exp", ["I", "II"])
+    def test_p1(self, exp):
+        ev = BitLevelEvaluator(1, exp)
+        assert ev.accumulate([1], [1]) == 1
+        assert ev.accumulate([1, 1], [1, 1]) == 0  # 2 mod 2^1
+
+
+class TestEvaluatorCorrectness:
+    @pytest.mark.parametrize("exp", ["I", "II"])
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_exhaustive_single_small(self, exp, p):
+        if p > 3:
+            pytest.skip("exhaustive only for tiny p") if False else None
+        ev = BitLevelEvaluator(p, exp)
+        mask = (1 << (2 * p - 1)) - 1
+        step = max(1, (1 << p) // 8)
+        for a in range(0, 1 << p, step):
+            for b in range(0, 1 << p, step):
+                assert ev.accumulate([a], [b]) == (a * b) & mask
+
+    @given(
+        st.sampled_from(["I", "II"]),
+        st.integers(1, 6),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_streams_mod_correct(self, exp, p, data):
+        n = data.draw(st.integers(0, 6))
+        xs = [data.draw(st.integers(0, (1 << p) - 1)) for _ in range(n)]
+        ys = [data.draw(st.integers(0, (1 << p) - 1)) for _ in range(n)]
+        z0 = data.draw(st.integers(0, (1 << (2 * p - 1)) - 1))
+        ev = BitLevelEvaluator(p, exp)
+        mask = (1 << (2 * p - 1)) - 1
+        want = (z0 + sum(a * b for a, b in zip(xs, ys))) & mask
+        assert ev.accumulate(xs, ys, z0) == want
+
+    @pytest.mark.parametrize("exp", ["I", "II"])
+    def test_exact_when_no_overflow(self, exp):
+        # Small operands: the true value fits in 2p-1 bits, so the result
+        # is exact, not just modular.
+        p = 4
+        ev = BitLevelEvaluator(p, exp)
+        xs, ys = [1, 2, 3], [3, 2, 1]
+        want = sum(a * b for a, b in zip(xs, ys))
+        assert want < (1 << (2 * p - 1))
+        assert ev.accumulate(xs, ys) == want
+
+
+class TestUniformityClaims:
+    """Section 3.2's qualitative comparison of the expansions."""
+
+    def test_expansion1_fewer_summands_interior(self):
+        # Expansion I: at most 3 summands except in the final iteration
+        # (plus boundary-completion effects at the i2 = p column).
+        ev = BitLevelEvaluator(4, "I")
+        ev.accumulate([5, 9, 3], [7, 2, 11])
+        assert ev.max_summands <= 5
+
+    def test_expansion2_needs_four_or_five(self):
+        # Expansion II sums 4-5 bits on the i1 = p hyperplane.
+        ev = BitLevelEvaluator(4, "II")
+        ev.accumulate([15, 15, 15], [15, 15, 15])
+        assert 4 <= ev.max_summands <= 5
+
+    def test_expansion1_single_iteration_is_plain_multiplier(self):
+        ev = BitLevelEvaluator(3, "I")
+        ev.accumulate([7], [7])
+        # One iteration: pp + z_prev(absent) + carries only.
+        assert ev.max_summands <= 4

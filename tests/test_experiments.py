@@ -1,0 +1,128 @@
+"""Integration tests: every experiment harness reproduces its paper claim."""
+
+import pytest
+
+from repro.experiments import (
+    e1_addshift,
+    e2_expansions,
+    e3_matmul_structure,
+    e4_fig4,
+    e5_fig5,
+    e6_speedup,
+    e7_analysis_cost,
+    e8_wordlevel,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out
+        assert "30" in out
+
+    def test_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()
+        assert len(rows[1]) == len(rows[2])
+
+
+class TestE1:
+    def test_passes(self):
+        data = e1_addshift.run(p_values=(2, 3))
+        assert data["ok"]
+
+    def test_report_renders(self):
+        assert "ALL CHECKS PASS" in e1_addshift.report(e1_addshift.run((2,)))
+
+
+class TestE2:
+    def test_passes(self):
+        data = e2_expansions.run(cases=((3, 2, 1),))
+        assert data["ok"]
+
+    def test_report(self):
+        assert "D_I" in e2_expansions.report(e2_expansions.run(((3, 2, 1),)))
+
+
+class TestE3:
+    def test_passes(self):
+        data = e3_matmul_structure.run(cases=((2, 2),))
+        assert data["ok"]
+        assert data["symbolic_ok"]
+        assert data["index_ok"]
+
+
+class TestE4:
+    def test_passes(self):
+        data = e4_fig4.run(cases=((2, 2),), optimality_bound=2)
+        assert data["ok"]
+
+    def test_detail_fields(self):
+        data = e4_fig4.run(cases=((2, 2),), optimality_bound=2)
+        det = data["details"][(2, 2)]
+        assert det["feasibility"].feasible
+        assert det["best_schedule"][1] == 7
+
+
+class TestE5:
+    def test_passes(self):
+        data = e5_fig5.run(cases=((2, 2),))
+        assert data["ok"]
+
+    def test_report_mentions_slip(self):
+        assert "arithmetic slip" in e5_fig5.report(e5_fig5.run(((2, 2),)))
+
+
+class TestE6:
+    def test_shape_reproduced(self):
+        data = e6_speedup.run(u=16, p_values=(2, 4, 8), simulate_up_to=(3, 3))
+        assert data["ok"]
+        assert data["exp_addshift"] > data["exp_carrysave"]
+
+    def test_fit_exponent(self):
+        # Perfect quadratic data fits slope 2.
+        assert abs(e6_speedup.fit_exponent([2, 4, 8], [4.0, 16.0, 64.0]) - 2) < 1e-9
+
+
+class TestE7:
+    def test_agreement_and_speed(self):
+        data = e7_analysis_cost.run(cases=((2, 2),))
+        assert data["ok"]
+
+
+class TestE8:
+    def test_passes(self):
+        data = e8_wordlevel.run(u_values=(2, 3))
+        assert data["ok"]
+
+    def test_report(self):
+        assert "ALL CHECKS PASS" in e8_wordlevel.report(e8_wordlevel.run((2,)))
+
+
+class TestE9:
+    def test_bound_matches(self):
+        from repro.experiments import e9_bounds
+
+        data = e9_bounds.run(cases=((2, 2), (3, 2)))
+        assert data["ok"]
+        assert "absolute minimum" in e9_bounds.report(data)
+
+
+class TestE10:
+    def test_search_reaches_optimum(self):
+        from repro.experiments import e10_search
+
+        data = e10_search.run(u=2, p=2, max_candidates=3)
+        assert data["ok"]
+        assert "OPTIMUM" in e10_search.report(data)
+
+
+class TestExperimentsCliAll:
+    def test_run_all_small(self, capsys):
+        # e9/e10 are cheap enough to run through the CLI path.
+        from repro.experiments.__main__ import main
+
+        assert main(["e9"]) == 0

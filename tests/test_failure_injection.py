@@ -1,0 +1,162 @@
+"""Failure injection: every dynamic/static checker must catch its fault.
+
+A verifier that never fires is worthless; these tests corrupt structures,
+mappings and machines on purpose and assert the corresponding guard trips.
+"""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.expansion.verify import effective_edges
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.machine.simulator import SpaceTimeSimulator, ValueStore
+from repro.mapping import check_feasibility, designs
+from repro.mapping.interconnect import InterconnectSolution, solve_interconnect
+from repro.mapping.transform import MappingMatrix
+from repro.structures.algorithm import Algorithm
+from repro.structures.conditions import Eq, Ne, TRUE
+from repro.structures.dependence import DependenceVector
+
+
+class TestStructureCorruption:
+    """A wrong Theorem 3.1 output must not survive cross-validation."""
+
+    def _edges(self, alg):
+        return effective_edges(alg, {"u": 2, "p": 2})
+
+    def test_wrong_validity_detected(self):
+        good = matmul_bit_level(2, 2, "II")
+        # Corrupt d̄₆'s validity from TRUE to a restricted region.
+        bad_vectors = [
+            v.with_validity(Eq(0, 1)) if v.vector == (0, 0, 0, 1, -1) else v
+            for v in good.dependences
+        ]
+        bad = Algorithm(good.index_set, bad_vectors, name="corrupted")
+        assert self._edges(good) != self._edges(bad)
+
+    def test_missing_vector_detected(self):
+        good = matmul_bit_level(2, 2, "II")
+        bad = Algorithm(
+            good.index_set,
+            [v for v in good.dependences if v.vector != (0, 0, 0, 0, 1)],
+            name="corrupted",
+        )
+        assert self._edges(good) != self._edges(bad)
+
+    def test_wrong_expansion_detected(self):
+        # D_I and D_II differ extensionally (d̄₃/d̄₆ regions swap).
+        e1 = effective_edges(matmul_bit_level(2, 2, "I"), {"u": 2, "p": 2})
+        e2 = effective_edges(matmul_bit_level(2, 2, "II"), {"u": 2, "p": 2})
+        assert e1 != e2
+
+
+class TestMappingCorruption:
+    def test_schedule_violation_caught_statically(self):
+        alg = matmul_bit_level(2, 2, "II")
+        bad = MappingMatrix(
+            [[2, 0, 0, 1, 0], [0, 2, 0, 0, 1], [1, 1, -1, 2, 1]]
+        )
+        rep = check_feasibility(bad, alg, {"u": 2, "p": 2})
+        assert not rep.schedule_valid
+
+    def test_schedule_violation_caught_at_runtime(self):
+        # Π d̄₃ = -1: the z word of the *next* iteration would be read
+        # before it exists; the causality check in the store must fire.
+        bad = MappingMatrix(
+            [[2, 0, 0, 1, 0], [0, 2, 0, 0, 1], [1, 1, -1, 2, 1]]
+        )
+        machine = BitLevelMatmulMachine(2, 2, bad, "II")
+        with pytest.raises((AssertionError, KeyError)):
+            machine.run([[1, 1], [1, 1]], [[1, 1], [1, 1]])
+
+    def test_conflict_caught_at_runtime(self):
+        # Degenerate space map: many points share PE and time.
+        bad = MappingMatrix(
+            [[1, 0, 0, 0, 0], [0, 1, 0, 0, 0], [1, 1, 1, 2, 1]]
+        )
+        machine = BitLevelMatmulMachine(2, 2, bad, "II")
+        with pytest.raises(ValueError, match="conflict"):
+            machine.run([[1, 1], [1, 1]], [[1, 1], [1, 1]])
+
+    def test_conflict_caught_statically(self):
+        alg = matmul_bit_level(2, 2, "II")
+        bad = MappingMatrix(
+            [[1, 0, 0, 0, 0], [0, 1, 0, 0, 0], [1, 1, 1, 2, 1]]
+        )
+        rep = check_feasibility(bad, alg, {"u": 2, "p": 2})
+        assert not rep.conflict_free
+
+
+class TestInterconnectCorruption:
+    def test_forged_k_rejected(self):
+        alg = matmul_bit_level(3, 3, "II")
+        t = designs.fig4_mapping(3)
+        d_cols = alg.dependences.columns()
+        d = [[c[r] for c in d_cols] for r in range(5)]
+        sol = solve_interconnect(t.space, d, t.schedule, designs.fig4_primitives(3))
+        assert sol is not None and sol.verify(t.space, d)
+        # Corrupt one K entry: verification must fail.
+        bad_k = [list(row) for row in sol.k_matrix]
+        bad_k[0][0] += 1
+        forged = InterconnectSolution(
+            p_matrix=sol.p_matrix,
+            k_matrix=bad_k,
+            hops=sol.hops,
+            deadlines=sol.deadlines,
+            buffers=sol.buffers,
+        )
+        assert not forged.verify(t.space, d)
+
+    def test_deadline_forgery_rejected(self):
+        alg = matmul_bit_level(3, 3, "II")
+        t = designs.fig4_mapping(3)
+        d_cols = alg.dependences.columns()
+        d = [[c[r] for c in d_cols] for r in range(5)]
+        sol = solve_interconnect(t.space, d, t.schedule, designs.fig4_primitives(3))
+        forged = InterconnectSolution(
+            p_matrix=sol.p_matrix,
+            k_matrix=sol.k_matrix,
+            hops=[h + 10 for h in sol.hops],
+            deadlines=sol.deadlines,
+            buffers=sol.buffers,
+        )
+        assert not forged.verify(t.space, d)
+
+
+class TestStoreGuards:
+    def test_double_write(self):
+        store = ValueStore(designs.word_level_mapping())
+        store.put("v", (1, 1, 1), 0)
+        with pytest.raises(AssertionError, match="double write"):
+            store.put("v", (1, 1, 1), 1)
+
+    def test_simulation_detects_same_time_read(self):
+        # Producing and consuming at the same beat violates causality.
+        from repro.ir.builders import matmul_word_structure
+
+        alg = matmul_word_structure()
+        mapping = designs.word_level_mapping()
+        sim = SpaceTimeSimulator(mapping, alg, {"u": 2})
+
+        def compute(q, store):
+            store.put("w", q, 1)
+            store.get("w", q)  # same point, same time: must trip
+
+        with pytest.raises(AssertionError, match="causality"):
+            sim.run(compute)
+
+
+class TestArithmeticGuards:
+    def test_compressor_overflow_guard(self):
+        from repro.expansion.semantics import LatticeSweep
+
+        sweep = LatticeSweep(1)
+        for _ in range(8):
+            sweep.seed((1, 1), 1)
+        with pytest.raises(AssertionError, match="overflow"):
+            sweep.run()
+
+    def test_machine_rejects_oversized_operand(self):
+        machine = BitLevelMatmulMachine(2, 2, designs.fig4_mapping(2), "II")
+        with pytest.raises(ValueError):
+            machine.run([[4, 0], [0, 0]], [[1, 1], [1, 1]])

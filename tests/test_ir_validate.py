@@ -1,0 +1,160 @@
+"""Tests for static program validation (repro.ir.validate)."""
+
+import pytest
+
+from repro.ir.builders import (
+    matmul_naive,
+    matmul_pipelined,
+    model_1d,
+    word_model,
+)
+from repro.ir.expand import expand_bit_level
+from repro.ir.expr import var
+from repro.ir.program import ArrayAccess, LoopNest, Statement
+from repro.ir.validate import (
+    check_guard_partition,
+    check_uniform_shifts,
+    extract_model35,
+    uniform_shift,
+)
+
+
+class TestUniformShift:
+    def test_basic(self):
+        j = var("j")
+        w = ArrayAccess("x", [j])
+        r = ArrayAccess("x", [j - 2])
+        assert uniform_shift(w, r, ("j",)) == [2]
+
+    def test_zero_shift(self):
+        j = var("j")
+        acc = ArrayAccess("x", [j])
+        assert uniform_shift(acc, acc, ("j",)) == [0]
+
+    def test_multi_dim(self):
+        j1, j2 = var("j1"), var("j2")
+        w = ArrayAccess("s", [j1, j2])
+        r = ArrayAccess("s", [j1 - 1, j2 + 1])
+        assert uniform_shift(w, r, ("j1", "j2")) == [1, -1]
+
+    def test_different_arrays(self):
+        j = var("j")
+        assert uniform_shift(
+            ArrayAccess("x", [j]), ArrayAccess("y", [j]), ("j",)
+        ) is None
+
+    def test_non_identity_write(self):
+        j = var("j")
+        w = ArrayAccess("x", [2 * j])
+        r = ArrayAccess("x", [2 * j - 2])
+        assert uniform_shift(w, r, ("j",)) is None
+
+    def test_rank_mismatch(self):
+        j = var("j")
+        assert uniform_shift(
+            ArrayAccess("x", [j]), ArrayAccess("x", [j, j]), ("j",)
+        ) is None
+
+    def test_symbolic_offset_rejected(self):
+        from repro.structures.params import S
+
+        j = var("j")
+        w = ArrayAccess("x", [j])
+        r = ArrayAccess("x", [j - S("p")])
+        assert uniform_shift(w, r, ("j",)) is None
+
+
+class TestExtractModel35:
+    def test_matmul(self):
+        shifts = extract_model35(matmul_pipelined(3))
+        assert shifts == {
+            "x": [0, 1, 0],
+            "y": [1, 0, 0],
+            "z": [0, 0, 1],
+        }
+
+    def test_1d_model(self):
+        shifts = extract_model35(model_1d(2, 1, 3, upper=5))
+        assert shifts == {"x": [2], "y": [1], "z": [3]}
+
+    def test_general_word_model(self):
+        prog = word_model([1, 0], [1, -1], [0, 1], [1, 1], [4, 3])
+        assert extract_model35(prog) == {
+            "x": [1, 0], "y": [1, -1], "z": [0, 1]
+        }
+
+    def test_naive_matmul_rejected(self):
+        # Program (2.2) is not in model (3.5) form (x, y unwritten).
+        with pytest.raises(ValueError):
+            extract_model35(matmul_naive(3))
+
+    def test_missing_in_place_read_rejected(self):
+        from repro.structures.indexset import IndexSet
+
+        j = var("j")
+        prog = LoopNest(
+            ("j",),
+            IndexSet([1], [3], ("j",)),
+            [
+                Statement("S_x", ArrayAccess("x", [j]), [ArrayAccess("x", [j - 1])]),
+                Statement("S_y", ArrayAccess("y", [j]), [ArrayAccess("y", [j - 1])]),
+                Statement(
+                    "S_z",
+                    ArrayAccess("z", [j]),
+                    [ArrayAccess("z", [j - 1]), ArrayAccess("x", [j - 1])],
+                ),
+            ],
+        )
+        with pytest.raises(ValueError, match="in place"):
+            extract_model35(prog)
+
+
+class TestGuardPartition:
+    def test_expanded_program_partitions(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 3, "II")
+        result = check_guard_partition(prog, {}, require_exactly_one=False)
+        assert result["s"] and result["x"] and result["y"]
+
+    def test_s_written_exactly_once_everywhere(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 3, "I")
+        result = check_guard_partition(prog, {}, require_exactly_one=False)
+        assert all(result.values())
+
+    def test_overlap_detected(self):
+        from repro.structures.conditions import Eq, TRUE
+
+        j = var("j")
+        prog = LoopNest(
+            ("j",),
+            model_1d(upper=3).index_set,
+            [
+                Statement("A", ArrayAccess("v", [j]), guard=TRUE),
+                Statement("B", ArrayAccess("v", [j]), guard=Eq(0, 2)),
+            ],
+        )
+        assert not check_guard_partition(prog, {})["v"]
+
+    def test_gap_detected_with_exactly_one(self):
+        from repro.structures.conditions import Eq
+
+        j = var("j")
+        prog = LoopNest(
+            ("j",),
+            model_1d(upper=3).index_set,
+            [Statement("A", ArrayAccess("v", [j]), guard=Eq(0, 1))],
+        )
+        assert check_guard_partition(prog, {})["v"]
+        assert not check_guard_partition(prog, {}, require_exactly_one=True)["v"]
+
+
+class TestUniformShifts:
+    def test_matmul_shifts(self):
+        shifts = check_uniform_shifts(matmul_pipelined(3))
+        assert shifts[("x", "S_x")] == [0, 1, 0]
+        assert shifts[("z", "S_z")] == [0, 0, 1]
+
+    def test_expanded_program_shifts(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 3, "II")
+        shifts = check_uniform_shifts(prog)
+        assert shifts[("c", "S_sum")] == [0, 0, 1]
+        assert shifts[("s", "S_sum")] == [0, 1, -1]

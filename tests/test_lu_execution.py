@@ -1,0 +1,48 @@
+"""Functional LU on the array: integration test of the triangular machinery."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from examples.lu_decomposition import lu_on_array
+
+
+def make_matrix(n, seed=0):
+    rng = random.Random(seed)
+    a = [[Fraction(rng.randrange(-4, 5)) for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        a[i][i] += Fraction(5 * n)  # diagonal dominance: nonzero pivots
+    return a
+
+
+class TestLUOnArray:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_lu_exact(self, n):
+        a = make_matrix(n, seed=n)
+        lower, upper, sim = lu_on_array(a, n)
+        for i in range(n):
+            for j in range(n):
+                got = sum(lower[i][k] * upper[k][j] for k in range(n))
+                assert got == a[i][j]
+
+    def test_l_unit_lower_triangular(self):
+        a = make_matrix(4, seed=9)
+        lower, upper, _ = lu_on_array(a, 4)
+        for i in range(4):
+            assert lower[i][i] == 1
+            for j in range(i + 1, 4):
+                assert lower[i][j] == 0
+                assert upper[j][i] == 0
+
+    def test_makespan_matches_formula(self):
+        n = 4
+        a = make_matrix(n, seed=2)
+        _, _, sim = lu_on_array(a, n)
+        assert sim.makespan == 3 * (n - 1) + 1
+        assert sim.computations == sum(k * k for k in range(1, n + 1))
+
+    def test_zero_pivot_detected(self):
+        a = [[Fraction(0), Fraction(1)], [Fraction(1), Fraction(0)]]
+        with pytest.raises(ZeroDivisionError):
+            lu_on_array(a, 2)

@@ -1,0 +1,154 @@
+"""End-to-end machine execution tests: bit-level and word-level matmul."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import random_matrix, reference_matmul
+
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.machine.simulator import SpaceTimeSimulator
+from repro.machine.wordlevel import WordLevelMatmulMachine
+from repro.ir.builders import matmul_word_structure
+from repro.mapping import designs
+
+
+class TestBitLevelMatmul:
+    @pytest.mark.parametrize("u,p", [(2, 2), (3, 2), (2, 3), (3, 3)])
+    @pytest.mark.parametrize("design", ["fig4", "fig5"])
+    @pytest.mark.parametrize("expansion", ["I", "II"])
+    def test_product_correct(self, u, p, design, expansion, rng):
+        t = designs.fig4_mapping(p) if design == "fig4" else designs.fig5_mapping(p)
+        machine = BitLevelMatmulMachine(u, p, t, expansion)
+        mask = (1 << (2 * p - 1)) - 1
+        x = random_matrix(rng, u, p)
+        y = random_matrix(rng, u, p)
+        out = machine.run(x, y)
+        assert out.product == reference_matmul(x, y, mask)
+
+    @pytest.mark.parametrize("u,p", [(2, 2), (3, 3), (4, 2)])
+    def test_fig4_makespan_formula(self, u, p, rng):
+        machine = BitLevelMatmulMachine(u, p, designs.fig4_mapping(p), "II")
+        out = machine.run(random_matrix(rng, u, p), random_matrix(rng, u, p))
+        assert out.sim.makespan == designs.t_fig4(u, p)
+
+    @pytest.mark.parametrize("u,p", [(2, 2), (3, 3)])
+    def test_fig5_makespan_formula(self, u, p, rng):
+        machine = BitLevelMatmulMachine(u, p, designs.fig5_mapping(p), "II")
+        out = machine.run(random_matrix(rng, u, p), random_matrix(rng, u, p))
+        assert out.sim.makespan == designs.t_fig5(u, p)
+
+    def test_processor_count(self, rng):
+        machine = BitLevelMatmulMachine(2, 3, designs.fig4_mapping(3), "II")
+        out = machine.run(random_matrix(rng, 2, 3), random_matrix(rng, 2, 3))
+        assert out.sim.processor_count == designs.fig4_processor_count(2, 3)
+
+    def test_always_busy(self, rng):
+        # Condition 5's intent: no globally idle beat.
+        machine = BitLevelMatmulMachine(3, 2, designs.fig4_mapping(2), "II")
+        out = machine.run(random_matrix(rng, 3, 2), random_matrix(rng, 3, 2))
+        assert out.sim.always_busy
+
+    def test_identity_matrix(self):
+        p, u = 3, 3
+        machine = BitLevelMatmulMachine(u, p, designs.fig4_mapping(p), "II")
+        ident = [[1 if i == j else 0 for j in range(u)] for i in range(u)]
+        x = [[5, 1, 2], [3, 7, 4], [6, 2, 1]]
+        out = machine.run(x, ident)
+        assert out.product == x
+
+    def test_zero_matrix(self):
+        machine = BitLevelMatmulMachine(2, 2, designs.fig4_mapping(2), "II")
+        zero = [[0, 0], [0, 0]]
+        out = machine.run(zero, zero)
+        assert out.product == zero
+        assert out.max_summands <= 1
+
+    def test_overflow_wraps_mod_2p_minus_1_bits(self):
+        # Max operands at p = 2, u = 3: true value 27 wraps mod 8.
+        machine = BitLevelMatmulMachine(3, 2, designs.fig4_mapping(2), "II")
+        x = [[3] * 3 for _ in range(3)]
+        out = machine.run(x, x)
+        assert out.product == [[27 & 7] * 3 for _ in range(3)]
+        assert out.dropped_bits > 0
+
+    def test_max_summands_bounded(self, rng):
+        machine = BitLevelMatmulMachine(3, 3, designs.fig4_mapping(3), "II")
+        out = machine.run(random_matrix(rng, 3, 3), random_matrix(rng, 3, 3))
+        assert out.max_summands <= 5
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_matrices(self, data):
+        u = data.draw(st.integers(2, 3))
+        p = data.draw(st.integers(2, 3))
+        x = [
+            [data.draw(st.integers(0, (1 << p) - 1)) for _ in range(u)]
+            for _ in range(u)
+        ]
+        y = [
+            [data.draw(st.integers(0, (1 << p) - 1)) for _ in range(u)]
+            for _ in range(u)
+        ]
+        machine = BitLevelMatmulMachine(u, p, designs.fig4_mapping(p), "II")
+        mask = (1 << (2 * p - 1)) - 1
+        assert machine.run(x, y).product == reference_matmul(x, y, mask)
+
+
+class TestWordLevelMatmul:
+    @pytest.mark.parametrize("arith", ["add-shift", "carry-save"])
+    def test_product_exact(self, arith, rng):
+        u, p = 3, 4
+        m = WordLevelMatmulMachine(u, p, arith)
+        x = random_matrix(rng, u, p)
+        y = random_matrix(rng, u, p)
+        out = m.run(x, y)
+        assert out.product == reference_matmul(x, y)
+
+    def test_beats_formula(self, rng):
+        u = 5
+        m = WordLevelMatmulMachine(u, 3, "add-shift")
+        out = m.run(random_matrix(rng, u, 3), random_matrix(rng, u, 3))
+        assert out.word_beats == 3 * (u - 1) + 1
+
+    def test_total_cycles(self, rng):
+        u, p = 4, 3
+        m = WordLevelMatmulMachine(u, p, "carry-save")
+        out = m.run(random_matrix(rng, u, p), random_matrix(rng, u, p))
+        assert out.total_cycles == designs.word_level_time(u, p, "carry-save")
+
+    def test_unknown_arithmetic(self):
+        with pytest.raises(ValueError):
+            WordLevelMatmulMachine(2, 2, "booth")
+
+    def test_bit_level_beats_word_level(self, rng):
+        # The headline claim, measured end to end on one instance.
+        u, p = 3, 3
+        x = random_matrix(rng, u, p)
+        y = random_matrix(rng, u, p)
+        word = WordLevelMatmulMachine(u, p, "add-shift").run(x, y)
+        bit = BitLevelMatmulMachine(u, p, designs.fig4_mapping(p), "II").run(x, y)
+        assert bit.sim.makespan < word.total_cycles
+        assert word.total_cycles / bit.sim.makespan > p
+
+
+class TestSimulatorGeneric:
+    def test_empty_index_set(self):
+        from repro.structures.algorithm import Algorithm
+        from repro.structures.indexset import IndexSet
+
+        alg = Algorithm(IndexSet([2], [1]), [])
+        sim = SpaceTimeSimulator(
+            designs.word_level_mapping(), matmul_word_structure(), {"u": 0}
+        )
+        result = sim.run(lambda q, s: None)
+        assert result.makespan == 0
+        assert result.computations == 0
+
+    def test_utilization_stats(self):
+        alg = matmul_word_structure()
+        sim = SpaceTimeSimulator(designs.word_level_mapping(), alg, {"u": 2})
+        result = sim.run(lambda q, s: None)
+        assert result.computations == 8
+        assert result.processor_count == 4
+        assert 0 < result.mean_utilization <= 1
+        assert sum(result.busy_per_step.values()) == 8

@@ -1,0 +1,89 @@
+"""Tests for array I/O schedules (the data skew of Figs. 4/5)."""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.ir.builders import matmul_word_structure
+from repro.machine.io_schedule import (
+    input_schedule,
+    output_schedule,
+    render_io,
+)
+from repro.mapping import designs
+
+
+@pytest.fixture(scope="module")
+def fig4_setup():
+    u, p = 2, 2
+    alg = matmul_bit_level(u, p, "II")
+    return alg, designs.fig4_mapping(p), {"u": u, "p": p}, u, p
+
+
+class TestInputSchedule:
+    def test_sorted_by_time(self, fig4_setup):
+        alg, t, binding, u, p = fig4_setup
+        events = input_schedule(alg, t, binding)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_x_bits_enter_at_word_boundary(self, fig4_setup):
+        alg, t, binding, u, p = fig4_setup
+        events = input_schedule(alg, t, binding)
+        x_events = [e for e in events if e.variable == "x" and e.vector[:3] != (0, 0, 0)]
+        # x word inputs occur where j2 - 1 = 0, on the i1 = 1 row: u*u*p bits.
+        assert len(x_events) == u * u * p
+        assert all(e.point[1] == 1 and e.point[3] == 1 for e in x_events)
+
+    def test_inputs_are_staggered(self, fig4_setup):
+        # The figures' point: inputs do not all arrive at once.
+        alg, t, binding, u, p = fig4_setup
+        events = input_schedule(alg, t, binding)
+        x_times = {e.time for e in events if e.variable == "x"}
+        assert len(x_times) > 1
+
+    def test_word_level_input_count(self):
+        alg = matmul_word_structure()
+        events = input_schedule(alg, designs.word_level_mapping(), {"u": 3})
+        by_var = {}
+        for e in events:
+            by_var.setdefault(e.variable, 0)
+            by_var[e.variable] += 1
+        # x enters at j2=1 (u² events), y at j1=1 (u²), z starts at j3=1 (u²).
+        assert by_var == {"x": 9, "y": 9, "z": 9}
+
+    def test_every_input_at_array_edge_time_window(self, fig4_setup):
+        alg, t, binding, u, p = fig4_setup
+        events = input_schedule(alg, t, binding)
+        first, last = events[0].time, events[-1].time
+        # All inputs arrive within the makespan window.
+        from repro.mapping.schedule import execution_time
+
+        span = execution_time(t.schedule, alg, binding)
+        assert last - first < span
+
+
+class TestOutputSchedule:
+    def test_z_outputs_at_chain_ends(self):
+        alg = matmul_word_structure()
+        events = output_schedule(alg, designs.word_level_mapping(), {"u": 3})
+        z_out = [e for e in events if e.variable == "z"]
+        assert len(z_out) == 9
+        assert all(e.point[2] == 3 for e in z_out)
+
+    def test_bit_level_outputs_exist(self, fig4_setup):
+        alg, t, binding, u, p = fig4_setup
+        events = output_schedule(alg, t, binding)
+        assert events
+        z_out = [e for e in events if e.variable == "z"]
+        assert z_out
+
+
+class TestRender:
+    def test_render_contains_header(self, fig4_setup):
+        alg, t, binding, _, _ = fig4_setup
+        out = render_io(input_schedule(alg, t, binding), max_rows=5)
+        assert out.splitlines()[0].strip().startswith("t")
+        assert "more events" in out
+
+    def test_render_empty(self):
+        assert "no boundary events" in render_io([])

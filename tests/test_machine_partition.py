@@ -1,0 +1,103 @@
+"""Tests for pass-partitioned execution."""
+
+import pytest
+
+from repro.machine.partition import PartitionedModelMachine
+from repro.mapping import designs
+from tests.conftest import random_matrix
+
+
+def matmul_partitioned(u, p, width, expansion="II"):
+    return PartitionedModelMachine(
+        [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [u, u, u], p,
+        designs.fig4_mapping(p), width, expansion,
+    )
+
+
+def matmul_words(X, Y, u):
+    xw, yw = {}, {}
+    for j1 in range(1, u + 1):
+        for j2 in range(1, u + 1):
+            for j3 in range(1, u + 1):
+                xw[(j1, j2, j3)] = X[j1 - 1][j3 - 1]
+                yw[(j1, j2, j3)] = Y[j3 - 1][j2 - 1]
+    return xw, yw
+
+
+class TestValidation:
+    def test_non_unit_h3_rejected(self):
+        with pytest.raises(ValueError, match="unit vector"):
+            PartitionedModelMachine(
+                [1], [1], [2], [1], [4], 2, designs.fig4_mapping(2), 2
+            )
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError, match="negative component"):
+            PartitionedModelMachine(
+                [1, -1], [1, 0], [0, 1], [1, 1], [3, 3], 2,
+                designs.fig4_mapping(2), 1,
+            )
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            matmul_partitioned(2, 2, 0)
+
+
+class TestSlabs:
+    def test_even_split(self):
+        m = matmul_partitioned(4, 2, 2)
+        assert m.slab_bounds() == [(1, 2), (3, 4)]
+
+    def test_ragged_split(self):
+        m = matmul_partitioned(5, 2, 2)
+        assert m.slab_bounds() == [(1, 2), (3, 4), (5, 5)]
+
+    def test_single_slab(self):
+        m = matmul_partitioned(3, 2, 10)
+        assert m.slab_bounds() == [(1, 3)]
+
+
+class TestExecution:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    @pytest.mark.parametrize("expansion", ["I", "II"])
+    def test_partitioned_equals_monolithic(self, width, expansion, rng):
+        u, p = 3, 2
+        X = random_matrix(rng, u, p)
+        Y = random_matrix(rng, u, p)
+        xw, yw = matmul_words(X, Y, u)
+        m = matmul_partitioned(u, p, width, expansion)
+        run = m.run(xw, yw)
+        assert run.outputs == m.reference(xw, yw)
+        assert run.pass_count == -(-u // width)
+
+    def test_total_time_is_sum_of_passes(self, rng):
+        u, p, width = 4, 2, 2
+        X = random_matrix(rng, u, p)
+        Y = random_matrix(rng, u, p)
+        xw, yw = matmul_words(X, Y, u)
+        run = matmul_partitioned(u, p, width).run(xw, yw)
+        assert run.total_makespan == sum(r.sim.makespan for r in run.passes)
+        # Each pass is an instance with only the accumulation axis shrunk
+        # to `width`: t = 2(u-1) + (width-1) + 3(p-1) + 1 per eq. (4.5).
+        per_pass = 2 * (u - 1) + (width - 1) + 3 * (p - 1) + 1
+        assert all(r.sim.makespan == per_pass for r in run.passes)
+
+    def test_footprint_is_single_slab(self, rng):
+        # S has a zero column on j3, so the PE set is unchanged per pass.
+        u, p = 3, 2
+        X = random_matrix(rng, u, p)
+        xw, yw = matmul_words(X, X, u)
+        run = matmul_partitioned(u, p, 1).run(xw, yw)
+        assert run.processor_count == designs.fig4_processor_count(u, p)
+
+    def test_z_init_carried_through(self, rng):
+        u, p = 2, 3
+        X = random_matrix(rng, u, p)
+        Y = random_matrix(rng, u, p)
+        xw, yw = matmul_words(X, Y, u)
+        z0 = {
+            (j1, j2, 1): rng.randrange(1 << (2 * p - 1))
+            for j1 in range(1, u + 1) for j2 in range(1, u + 1)
+        }
+        m = matmul_partitioned(u, p, 1)
+        assert m.run(xw, yw, z_init=z0).outputs == m.reference(xw, yw, z0)

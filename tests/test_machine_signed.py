@@ -1,0 +1,86 @@
+"""Tests for signed workloads on the unsigned machines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import BitLevelMatmulMachine
+from repro.machine.signed import signed_matmul, split_signed
+from repro.mapping import designs
+
+
+class TestSplit:
+    def test_basic(self):
+        plus, minus = split_signed([[3, -2], [0, -1]])
+        assert plus == [[3, 0], [0, 0]]
+        assert minus == [[0, 2], [0, 1]]
+
+    def test_reconstruction(self):
+        m = [[5, -7, 0], [-1, 2, -3]]
+        plus, minus = split_signed(m)
+        assert [[p - q for p, q in zip(pr, mr)] for pr, mr in zip(plus, minus)] == m
+
+    def test_nonnegative_parts(self):
+        plus, minus = split_signed([[-4, 4]])
+        assert all(v >= 0 for row in plus + minus for v in row)
+
+
+class TestSignedMatmul:
+    def test_against_plain_product(self, rng):
+        u, p = 2, 4
+        machine = BitLevelMatmulMachine(u, p, designs.fig4_mapping(p), "II")
+        # Keep magnitudes small so true values fit in [-2^{2p-2}, 2^{2p-2}).
+        x = [[rng.randrange(-4, 5) for _ in range(u)] for _ in range(u)]
+        y = [[rng.randrange(4) for _ in range(u)] for _ in range(u)]
+        got = signed_matmul(
+            lambda a, b: machine.run(a, b).product, x, y,
+            modulus=1 << (2 * p - 1),
+        )
+        want = [
+            [sum(x[i][k] * y[k][j] for k in range(u)) for j in range(u)]
+            for i in range(u)
+        ]
+        assert got == want
+
+    def test_recentering(self):
+        # A runner computing mod 8 with a negative true value.
+        def run(a, b):
+            return [[(a[0][0] * b[0][0]) % 8]]
+
+        got = signed_matmul(run, [[-3]], [[2]], modulus=8)
+        assert got == [[-6 + 8]] or got == [[2]]  # -6 ≡ 2 (mod 8), recentred to 2
+        # With a modulus large enough, the result is exact.
+        def run16(a, b):
+            return [[(a[0][0] * b[0][0]) % 16]]
+
+        assert signed_matmul(run16, [[-3]], [[2]], modulus=16) == [[-6]]
+
+    def test_no_modulus_plain_difference(self):
+        def run(a, b):
+            return [[a[0][0] * b[0][0]]]
+
+        assert signed_matmul(run, [[-3]], [[5]]) == [[-15]]
+
+    @given(st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_property_exact_when_in_range(self, data):
+        u, p = 2, 4
+        machine = BitLevelMatmulMachine(u, p, designs.fig4_mapping(p), "II")
+        half = (1 << (2 * p - 1)) // 2
+        x = [
+            [data.draw(st.integers(-3, 3)) for _ in range(u)]
+            for _ in range(u)
+        ]
+        y = [
+            [data.draw(st.integers(0, 7)) for _ in range(u)]
+            for _ in range(u)
+        ]
+        want = [
+            [sum(x[i][k] * y[k][j] for k in range(u)) for j in range(u)]
+            for i in range(u)
+        ]
+        assert all(-half <= v < half for row in want for v in row)
+        got = signed_matmul(
+            lambda a, b: machine.run(a, b).product, x, y,
+            modulus=1 << (2 * p - 1),
+        )
+        assert got == want

@@ -1,0 +1,102 @@
+"""Tests for the generic word-level model machine."""
+
+import pytest
+
+from repro.machine.model import BitLevelModelMachine
+from repro.machine.wordmodel import WordLevelModelMachine
+from repro.mapping import designs
+from repro.mapping.transform import MappingMatrix
+
+# A valid 1-D-space mapping for the 2-D convolution: PE = j1,
+# time = 2*j1 + j2 (Π·h̄ > 0 for all of [1,0], [1,-1], [0,1]).
+WORD_CONV_T = MappingMatrix([[1, 0], [2, 1]], "T-conv-word")
+
+
+def conv_words(w, sig, n_pts, taps):
+    xw, yw = {}, {}
+    for j1 in range(1, n_pts + 1):
+        for j2 in range(1, taps + 1):
+            xw[(j1, j2)] = w[j2 - 1]
+            yw[(j1, j2)] = sig[j1 + j2 - 2]
+    return xw, yw
+
+
+class TestWordModelMachine:
+    def test_matmul_agrees_with_formula(self, rng):
+        u, p = 3, 3
+        m = WordLevelModelMachine(
+            [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [u, u, u], p,
+            designs.word_level_mapping(), "add-shift",
+        )
+        X = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+        Y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+        xw, yw = {}, {}
+        for j1 in range(1, u + 1):
+            for j2 in range(1, u + 1):
+                for j3 in range(1, u + 1):
+                    xw[(j1, j2, j3)] = X[j1 - 1][j3 - 1]
+                    yw[(j1, j2, j3)] = Y[j3 - 1][j2 - 1]
+        run = m.run(xw, yw)
+        assert run.word_beats == 3 * (u - 1) + 1
+        assert run.total_cycles == designs.word_level_time(u, p, "add-shift")
+        for j1 in range(1, u + 1):
+            for j2 in range(1, u + 1):
+                want = sum(X[j1 - 1][k - 1] * Y[k - 1][j2 - 1] for k in range(1, u + 1))
+                assert run.outputs[(j1, j2, u)] == want
+
+    def test_convolution_exact(self, rng):
+        p, n_pts, taps = 4, 4, 3
+        w = [rng.randrange(1 << p) for _ in range(taps)]
+        sig = [rng.randrange(1 << p) for _ in range(n_pts + taps)]
+        m = WordLevelModelMachine(
+            [1, 0], [1, -1], [0, 1], [1, 1], [n_pts, taps], p,
+            WORD_CONV_T, "carry-save",
+        )
+        xw, yw = conv_words(w, sig, n_pts, taps)
+        run = m.run(xw, yw)
+        for j1 in range(1, n_pts + 1):
+            want = sum(w[j2 - 1] * sig[j1 + j2 - 2] for j2 in range(1, taps + 1))
+            assert run.outputs[(j1, taps)] == want
+
+    def test_z_init(self):
+        m = WordLevelModelMachine(
+            [1, 0], [1, -1], [0, 1], [1, 1], [2, 2], 3, WORD_CONV_T
+        )
+        xw, yw = conv_words([1, 2], [1, 1, 1, 1], 2, 2)
+        run = m.run(xw, yw, z_init={(j1, 1): 10 for j1 in (1, 2)})
+        assert all(v == 13 for v in run.outputs.values())
+
+    def test_speedup_vs_bit_level_per_workload(self, rng):
+        # The generalized speedup claim: the bit-level convolution array
+        # beats the word-level one by more than p.
+        p, n_pts, taps = 3, 4, 3
+        w = [rng.randrange(1 << p) for _ in range(taps)]
+        sig = [rng.randrange(1 << p) for _ in range(n_pts + taps)]
+        xw, yw = conv_words(w, sig, n_pts, taps)
+
+        word = WordLevelModelMachine(
+            [1, 0], [1, -1], [0, 1], [1, 1], [n_pts, taps], p,
+            WORD_CONV_T, "add-shift",
+        ).run(xw, yw)
+
+        bit_T = MappingMatrix([[3, 0, 1, 0], [0, 0, 0, 1], [2, 1, 2, 1]])
+        bit = BitLevelModelMachine(
+            [1, 0], [1, -1], [0, 1], [1, 1], [n_pts, taps], p, bit_T, "II"
+        ).run(xw, yw)
+
+        mask = (1 << (2 * p - 1)) - 1
+        assert {j: v & mask for j, v in word.outputs.items()} == bit.outputs
+        assert word.total_cycles / bit.sim.makespan > p
+
+    def test_unknown_arithmetic(self):
+        with pytest.raises(ValueError):
+            WordLevelModelMachine(
+                [1], [1], [1], [1], [3], 2,
+                MappingMatrix([[1]]), "booth",
+            )
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            WordLevelModelMachine(
+                [1, 0], [1], [1], [1], [3], 2, MappingMatrix([[1]])
+            )

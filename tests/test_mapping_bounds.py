@@ -1,0 +1,82 @@
+"""Tests for free-schedule lower bounds (repro.mapping.bounds)."""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.ir.builders import matmul_word_structure
+from repro.mapping import designs
+from repro.mapping.bounds import (
+    critical_path_length,
+    free_schedule_time,
+    free_schedule_times,
+)
+from repro.structures.algorithm import Algorithm
+from repro.structures.conditions import TRUE
+from repro.structures.dependence import DependenceVector
+from repro.structures.indexset import IndexSet
+
+
+class TestFreeSchedule:
+    def test_chain(self):
+        alg = Algorithm(IndexSet.cube(1, 5), [DependenceVector([1])])
+        times = free_schedule_times(alg, {})
+        assert times == {(k,): k - 1 for k in range(1, 6)}
+        assert free_schedule_time(alg, {}) == 5
+
+    def test_no_dependences(self):
+        alg = Algorithm(IndexSet.cube(2, 3), [])
+        assert critical_path_length(alg, {}) == 0
+        assert free_schedule_time(alg, {}) == 1
+
+    def test_word_matmul(self):
+        # Critical path of the word-level matmul: 3(u-1).
+        alg = matmul_word_structure()
+        assert free_schedule_time(alg, {"u": 4}) == 3 * 3 + 1
+
+    def test_validity_respected(self):
+        from repro.structures.conditions import Eq
+
+        # Dependence valid only at j2 = 1: the chain runs in that column.
+        alg = Algorithm(
+            IndexSet.cube(2, 4),
+            [DependenceVector([1, 0], (), Eq(1, 1))],
+        )
+        assert critical_path_length(alg, {}) == 3
+
+    def test_cycle_detected(self):
+        alg = Algorithm(
+            IndexSet.cube(1, 3),
+            [DependenceVector([1]), DependenceVector([-1])],
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            free_schedule_times(alg, {})
+
+    def test_empty_set(self):
+        alg = Algorithm(IndexSet([2], [1]), [DependenceVector([1])])
+        assert free_schedule_time(alg, {}) == 1
+
+
+class TestFig4AbsoluteOptimality:
+    """Fig. 4's linear schedule matches the free-schedule lower bound:
+    a sharper statement than Theorem 4.5 (optimality among all schedules,
+    not just linear ones)."""
+
+    @pytest.mark.parametrize("u,p", [(2, 2), (3, 3), (4, 2), (2, 4)])
+    @pytest.mark.parametrize("expansion", ["I", "II"])
+    def test_fig4_hits_lower_bound(self, u, p, expansion):
+        alg = matmul_bit_level(u, p, expansion)
+        assert free_schedule_time(alg, {"u": u, "p": p}) == designs.t_fig4(u, p)
+
+    def test_fig5_above_lower_bound(self):
+        alg = matmul_bit_level(3, 3, "II")
+        assert designs.t_fig5(3, 3) > free_schedule_time(alg, {"u": 3, "p": 3})
+
+    def test_no_linear_schedule_below_bound(self):
+        # Consistency: the linear-schedule optimum cannot undercut the
+        # free-schedule bound.
+        from repro.mapping.schedule import find_optimal_schedule
+
+        alg = matmul_bit_level(2, 3, "II")
+        best = find_optimal_schedule(alg, {"u": 2, "p": 3}, coeff_bound=2)
+        assert best is not None
+        assert best[1] >= free_schedule_time(alg, {"u": 2, "p": 3})

@@ -1,0 +1,124 @@
+"""Tests for the S·D = P·K factorization and primitive matrices."""
+
+import pytest
+
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.mapping.designs import (
+    fig4_k_paper,
+    fig4_mapping,
+    fig4_primitives,
+    fig5_mapping,
+    fig5_primitives,
+)
+from repro.mapping.interconnect import (
+    mesh_primitives,
+    solve_interconnect,
+    with_long_wires,
+)
+from repro.util.linalg import mat_mul
+
+
+def matmul_D(u=3, p=3):
+    alg = matmul_bit_level(u, p, "II")
+    cols = alg.dependences.columns()
+    return [[c[r] for c in cols] for r in range(5)], alg
+
+
+class TestPrimitiveMatrices:
+    def test_mesh_2d(self):
+        p = mesh_primitives(2)
+        cols = {tuple(p[r][j] for r in range(2)) for j in range(4)}
+        assert cols == {(1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_mesh_1d(self):
+        p = mesh_primitives(1)
+        assert p == [[1, -1]]
+
+    def test_with_long_wires(self):
+        p = with_long_wires([[5, 0]])
+        assert len(p[0]) == 5
+        assert (p[0][4], p[1][4]) == (5, 0)
+
+    def test_long_wire_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            with_long_wires([[5]])
+
+
+class TestSolveInterconnect:
+    def test_fig4_solution(self):
+        d, _ = matmul_D(3, 3)
+        t = fig4_mapping(3)
+        sol = solve_interconnect(t.space, d, t.schedule, fig4_primitives(3))
+        assert sol is not None
+        assert sol.verify(t.space, d)
+        # d̄₄ column: one hop, deadline 2 -> one buffer.
+        i_d4 = next(
+            i for i in range(7)
+            if [d[r][i] for r in range(5)] == [0, 0, 0, 1, 0]
+        )
+        assert sol.hops[i_d4] == 1
+        assert sol.deadlines[i_d4] == 2
+        assert sol.buffers[i_d4] == 1
+
+    def test_fig5_solution_unit_wires(self):
+        d, _ = matmul_D(3, 3)
+        t = fig5_mapping(3)
+        sol = solve_interconnect(t.space, d, t.schedule, fig5_primitives())
+        assert sol is not None
+        assert sol.verify(t.space, d)
+        # Word pipelining now takes p mesh hops.
+        i_d1 = next(
+            i for i in range(7)
+            if [d[r][i] for r in range(5)] == [1, 0, 0, 0, 0]
+        )
+        assert sol.hops[i_d1] == 3
+
+    def test_fig4_infeasible_on_pure_mesh(self):
+        # Without the long wires, d̄₁ needs p hops in 1 time unit.
+        d, _ = matmul_D(3, 3)
+        t = fig4_mapping(3)
+        sol = solve_interconnect(t.space, d, t.schedule, mesh_primitives(2))
+        assert sol is None
+
+    def test_paper_k_matrix_verifies(self):
+        # The literal K of (4.3) against the paper-ordered D.
+        from repro.experiments.e4_fig4 import paper_order_D
+
+        _, alg = matmul_D(3, 3)
+        d = paper_order_D(alg)
+        t = fig4_mapping(3)
+        k = fig4_k_paper()
+        assert mat_mul(t.space, d) == mat_mul(fig4_primitives(3), k)
+        for i in range(7):
+            hops = sum(k[j][i] for j in range(6))
+            deadline = sum(t.schedule[r] * d[r][i] for r in range(5))
+            assert hops <= deadline
+
+    def test_zero_displacement_zero_hops(self):
+        # Stationary data (S·d = 0) needs no hops.
+        sol = solve_interconnect(
+            [[1, 0]], [[0], [0]], [0, 1], mesh_primitives(1)
+        )
+        assert sol is not None
+        assert sol.hops == [0]
+
+    def test_deadline_violation_returns_none(self):
+        # Displacement (2, 0) with deadline 1 on a unit mesh: impossible.
+        sol = solve_interconnect(
+            [[1, 0], [0, 1]],
+            [[2], [0]],
+            [0, 1],  # Π d = 0·2 + 1·0 ... deadline computed from schedule
+            mesh_primitives(2),
+        )
+        # Π·d = 0, so even zero hops cannot be "before" -- target (2,0)
+        # unreachable within 0 hops.
+        assert sol is None
+
+    def test_minimal_hops_preferred(self):
+        # Target (1, 0) with generous deadline: the solver picks 1 hop,
+        # not a 3-hop detour.
+        sol = solve_interconnect(
+            [[1, 0], [0, 1]], [[1], [0]], [5, 5], mesh_primitives(2)
+        )
+        assert sol is not None
+        assert sol.hops == [1]

@@ -1,0 +1,78 @@
+"""Tests for repro.structures.algorithm."""
+
+import pytest
+
+from repro.ir.builders import matmul_word_structure
+from repro.structures.algorithm import Algorithm, ComputationSet
+from repro.structures.conditions import Eq
+from repro.structures.dependence import DependenceMatrix, DependenceVector
+from repro.structures.indexset import IndexSet
+from repro.structures.params import S
+
+
+class TestComputationSet:
+    def test_from_mapping(self):
+        c = ComputationSet({"S1": "z = z + x*y"})
+        assert c.names() == ["S1"]
+
+    def test_from_pairs(self):
+        c = ComputationSet([("S1", "a"), ("S2", "b")])
+        assert c.names() == ["S1", "S2"]
+
+    def test_empty(self):
+        assert ComputationSet().names() == []
+
+
+class TestAlgorithm:
+    def test_matmul_triplet(self):
+        alg = matmul_word_structure()
+        assert alg.dim == 3
+        assert alg.is_uniform
+        assert len(alg.dependences) == 3
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Algorithm(
+                IndexSet.cube(2, 3),
+                DependenceMatrix([DependenceVector([1, 0, 0])]),
+            )
+
+    def test_non_uniform(self):
+        alg = Algorithm(
+            IndexSet.cube(2, 3),
+            [DependenceVector([1, 0], ("x",), Eq(0, 1))],
+        )
+        assert not alg.is_uniform
+
+    def test_check_dependences_inside(self):
+        alg = matmul_word_structure()
+        assert alg.check_dependences_inside({"u": 3})
+
+    def test_check_fails_for_escaping_vector(self):
+        # Dependence longer than the box never connects two iterations.
+        alg = Algorithm(
+            IndexSet.cube(1, 3),
+            [DependenceVector([5], ("x",))],
+        )
+        assert not alg.check_dependences_inside({})
+
+    def test_dependence_edges_count(self):
+        alg = matmul_word_structure()
+        edges = alg.dependence_edges({"u": 2})
+        # Each of the 3 unit vectors connects (u-1)*u*u = 4 pairs.
+        assert len(edges) == 12
+        for src, snk, vec in edges:
+            assert tuple(s + d for s, d in zip(src, vec.vector)) == snk
+
+    def test_dependence_edges_respect_validity(self):
+        alg = Algorithm(
+            IndexSet.cube(2, 3),
+            [DependenceVector([1, 0], ("x",), Eq(1, 1))],  # only at j2 = 1
+        )
+        edges = alg.dependence_edges({})
+        assert all(snk[1] == 1 for _, snk, _ in edges)
+        assert len(edges) == 2  # (1,1)->(2,1), (2,1)->(3,1)
+
+    def test_repr(self):
+        alg = matmul_word_structure()
+        assert "uniform" in repr(alg)

@@ -1,0 +1,106 @@
+"""Tests for repro.structures.indexset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.indexset import IndexSet
+from repro.structures.params import S
+
+
+class TestConstruction:
+    def test_cube(self):
+        j = IndexSet.cube(3, 4)
+        assert j.dim == 3
+        assert j.bounds({}) == [(1, 4)] * 3
+
+    def test_symbolic_cube(self):
+        j = IndexSet.cube(2, S("p"))
+        assert j.params() == {"p"}
+        assert j.bounds({"p": 5}) == [(1, 5), (1, 5)]
+
+    def test_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            IndexSet([1], [2, 3])
+
+    def test_names_default(self):
+        j = IndexSet.cube(2, 3)
+        assert j.names == ("j1", "j2")
+
+    def test_rename(self):
+        j = IndexSet.cube(2, 3).rename(("i1", "i2"))
+        assert j.names == ("i1", "i2")
+
+    def test_rename_wrong_length(self):
+        with pytest.raises(ValueError):
+            IndexSet.cube(2, 3).rename(("a",))
+
+
+class TestProduct:
+    def test_dims_add(self):
+        a = IndexSet.cube(3, S("u"))
+        b = IndexSet.cube(2, S("p")).rename(("i1", "i2"))
+        prod = a.product(b)
+        assert prod.dim == 5
+        assert prod.names == ("j1", "j2", "j3", "i1", "i2")
+
+    def test_size_multiplies(self):
+        a = IndexSet.cube(2, 3)
+        b = IndexSet.cube(2, 2)
+        assert a.product(b).size({}) == a.size({}) * b.size({})
+
+    def test_matmul_bit_level_set(self):
+        # Eq. (3.13): 1 <= j1,j2,j3 <= u, 1 <= i1,i2 <= p.
+        j = IndexSet.cube(3, S("u")).product(IndexSet.cube(2, S("p")))
+        assert j.size({"u": 3, "p": 2}) == 27 * 4
+
+
+class TestQueries:
+    def test_contains(self):
+        j = IndexSet.cube(2, 3)
+        assert j.contains((1, 3), {})
+        assert not j.contains((0, 1), {})
+        assert not j.contains((1, 4), {})
+        assert not j.contains((1,), {})
+
+    def test_size_empty(self):
+        j = IndexSet([2], [1])
+        assert j.size({}) == 0
+
+    def test_points_lexicographic(self):
+        pts = list(IndexSet.cube(2, 2).points({}))
+        assert pts == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_points_count(self):
+        j = IndexSet([0, 1], [2, 3])
+        assert len(list(j.points({}))) == j.size({}) == 9
+
+    def test_corners(self):
+        j = IndexSet([1, 2], [S("u"), 5])
+        assert j.corner_min({"u": 9}) == (1, 2)
+        assert j.corner_max({"u": 9}) == (9, 5)
+
+    def test_symbolic_bounds_expression(self):
+        j = IndexSet([1], [2 * S("p") - 1])
+        assert j.bounds({"p": 4}) == [(1, 7)]
+
+    @given(st.integers(1, 5), st.integers(1, 4))
+    def test_cube_size(self, dim, upper):
+        assert IndexSet.cube(dim, upper).size({}) == upper**dim
+
+
+class TestEquality:
+    def test_equal(self):
+        assert IndexSet.cube(2, S("p")) == IndexSet.cube(2, S("p"))
+
+    def test_not_equal(self):
+        assert IndexSet.cube(2, S("p")) != IndexSet.cube(2, S("u"))
+
+    def test_names_ignored_in_equality(self):
+        assert IndexSet.cube(2, 3) == IndexSet.cube(2, 3).rename(("a", "b"))
+
+    def test_hashable(self):
+        assert len({IndexSet.cube(2, 3), IndexSet.cube(2, 3)}) == 1
+
+    def test_repr_mentions_bounds(self):
+        r = repr(IndexSet.cube(1, S("u")))
+        assert "u" in r

@@ -1,0 +1,42 @@
+"""Randomized Theorem 3.1 verification via hypothesis.
+
+Random lexicographically-positive word-level models at tiny sizes; the
+compositional structure must match general dependence analysis of the
+expanded program for every draw.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.expansion.verify import verify_theorem31
+
+# Lexicographically positive vectors by construction (no filtering).
+vec_1d = st.tuples(st.integers(1, 2))
+vec_2d = st.one_of(
+    st.tuples(st.integers(1, 2), st.integers(-1, 2)),
+    st.tuples(st.just(0), st.integers(1, 2)),
+)
+
+
+@given(
+    vec_1d, vec_1d, vec_1d,
+    st.integers(3, 4),
+    st.sampled_from(["I", "II"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_1d_models(h1, h2, h3, u, expansion):
+    rep = verify_theorem31(
+        list(h1), list(h2), list(h3), [1], [u], 2, expansion
+    )
+    assert rep.matches, rep.summary()
+
+
+@given(
+    vec_2d, vec_2d, vec_2d,
+    st.sampled_from(["I", "II"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_2d_models(h1, h2, h3, expansion):
+    rep = verify_theorem31(
+        list(h1), list(h2), list(h3), [1, 1], [3, 3], 2, expansion
+    )
+    assert rep.matches, rep.summary()
