@@ -8,6 +8,7 @@ fewer processors at small sizes).
 
 import pytest
 
+from repro import obs
 from repro.expansion.theorem31 import matmul_bit_level
 from repro.experiments.tables import format_table
 from repro.ir.builders import matmul_word_structure
@@ -20,11 +21,12 @@ def report(report_writer):
     yield
     u, p = 2, 2
     alg = matmul_bit_level(u, p, "II")
-    cands = search_designs(
-        alg, {"u": u, "p": p}, designs.fig4_primitives(p),
-        target_space_dim=2, block_values=[p], schedule_bound=2,
-        max_candidates=5,
-    )
+    with obs.collecting() as reg:
+        cands = search_designs(
+            alg, {"u": u, "p": p}, designs.fig4_primitives(p),
+            target_space_dim=2, block_values=[p], schedule_bound=2,
+            max_candidates=5,
+        )
     rows = [
         (i + 1, c.time, c.processors,
          "; ".join(str(list(r)) for r in c.mapping.rows))
@@ -39,7 +41,10 @@ def report(report_writer):
         rows,
         title=f"Design-space search, bit-level matmul (u={u}, p={p})",
     )
-    report_writer("design-search", text)
+    report_writer(
+        "design-search", text,
+        data={"u": u, "p": p, "rows": rows, "metrics": obs.metrics_dict(reg)},
+    )
 
 
 def test_bench_search_word_level(benchmark):

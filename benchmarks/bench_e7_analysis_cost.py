@@ -18,7 +18,8 @@ MATMUL_H = ([0, 1, 0], [1, 0, 0], [0, 0, 1])
 @pytest.fixture(scope="module", autouse=True)
 def report(report_writer):
     yield
-    report_writer("E7-analysis-cost", e7_analysis_cost.report())
+    data = e7_analysis_cost.run()
+    report_writer("E7-analysis-cost", e7_analysis_cost.report(data), data=data)
 
 
 @pytest.mark.parametrize("u,p", [(2, 2), (3, 2), (3, 3)])

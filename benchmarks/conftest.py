@@ -5,10 +5,16 @@ DESIGN.md's experiment index).  Besides timing the kernels with
 pytest-benchmark, every module renders its experiment report; reports are
 printed and also written to ``benchmarks/_reports/<id>.txt`` so they survive
 pytest's output capture.
+
+Modules that produce structured results pass them as ``data``; those are
+written alongside as ``benchmarks/_reports/<id>.json`` (experiment data
+plus, when the module collected one, a :mod:`repro.obs` metrics dict), so
+successive runs accumulate a machine-readable perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -16,10 +22,19 @@ import pytest
 REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
 
 
-def emit_report(exp_id: str, text: str) -> None:
-    """Print a report and persist it under benchmarks/_reports/."""
+def emit_report(exp_id: str, text: str, data: dict | None = None) -> None:
+    """Print a report and persist it under benchmarks/_reports/.
+
+    ``data``, when given, must be JSON-serializable (tuples become lists)
+    and is written to ``_reports/<exp_id>.json``; the ``.txt`` output is
+    unchanged either way.
+    """
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    if data is not None:
+        (REPORT_DIR / f"{exp_id}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+        )
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
 
 

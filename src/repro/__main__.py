@@ -6,6 +6,13 @@ Usage::
     python -m repro structure [options]       # print a bit-level structure
     python -m repro design [options]          # check/search a matmul design
     python -m repro simulate [options]        # run the bit-level matmul machine
+
+Every subcommand honors the global observability flags (before or after the
+subcommand name): ``--metrics-out FILE`` writes the flat metrics dict as
+JSON, ``--trace FILE`` writes a JSON-lines span trace, and either one also
+prints a human-readable trace tree to stderr unless ``--quiet-metrics`` is
+given.  Without these flags no registry is installed and output is exactly
+the uninstrumented program's.
 """
 
 from __future__ import annotations
@@ -72,6 +79,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"design={args.design} u={u} p={p} expansion={args.expansion}")
     print(f"makespan: {run.sim.makespan}  PEs: {run.sim.processor_count}  "
           f"utilization: {run.sim.mean_utilization:.1%}")
+    from repro import obs
+
+    if obs.enabled():
+        # Condition 5 of Definition 4.1, measured from the simulator's
+        # per-PE busy counters rather than asserted from coprimality.
+        print(f"condition 5 (some PE busy at every beat): {run.sim.always_busy}")
+        print("per-PE utilization:")
+        util = run.sim.pe_utilization()
+        for pos in sorted(run.sim.pe_busy):
+            busy = run.sim.pe_busy[pos]
+            print(f"  PE{pos}: {busy}/{run.sim.makespan} beats ({util[pos]:.1%})")
+        print(f"ValueStore: {run.sim.store_reads} reads, "
+              f"{run.sim.store_writes} writes")
     print(f"product correct (mod 2^{2*p-1}): {run.product == want}")
     if args.gantt:
         from repro.machine.simulator import SpaceTimeSimulator
@@ -82,22 +102,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if run.product == want else 1
 
 
+def _obs_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """The global observability flags.
+
+    Added both to the top-level parser (real defaults) and to every
+    subparser with ``SUPPRESS`` defaults, so the flags are accepted on
+    either side of the subcommand name without the subparser's defaults
+    clobbering values parsed at the top level.
+    """
+    suppress = argparse.SUPPRESS
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None if top_level else suppress,
+        help="write a JSON-lines span trace to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None if top_level else suppress,
+        help="write the run's metrics as JSON to FILE",
+    )
+    parser.add_argument(
+        "--quiet-metrics", action="store_true",
+        default=False if top_level else suppress,
+        help="suppress the stderr trace-tree summary",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bit-level dependence analysis and architecture design "
         "(Shang & Wah, ICPP 1993 reproduction)",
     )
+    _obs_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiments", help="reproduce the paper's figures")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (e1..e8)")
+    _obs_options(p_exp, top_level=False)
     p_exp.set_defaults(fn=_cmd_experiments)
 
     def common(p):
         p.add_argument("--u", type=int, default=3, help="matrix dimension")
         p.add_argument("--p", type=int, default=3, help="word length")
         p.add_argument("--expansion", choices=["I", "II"], default="II")
+        _obs_options(p, top_level=False)
 
     p_struct = sub.add_parser("structure", help="print a bit-level structure")
     common(p_struct)
@@ -122,7 +169,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if not (args.trace or args.metrics_out):
+        return args.fn(args)
+
+    from repro import obs
+
+    with obs.collecting() as reg:
+        with reg.span(f"cli.{args.command}"):
+            rc = args.fn(args)
+        try:
+            if args.trace:
+                obs.write_trace(reg, args.trace)
+            if args.metrics_out:
+                obs.write_metrics(reg, args.metrics_out)
+        except OSError as exc:
+            print(f"repro: cannot write metrics: {exc}", file=sys.stderr)
+            rc = rc or 1
+        if not args.quiet_metrics:
+            print(obs.render_tree(reg), file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

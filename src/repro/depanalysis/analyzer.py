@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.depanalysis.exact import analyze_exact
 from repro.depanalysis.pairs import AnalysisResult, DependenceInstance
 from repro.ir.program import LoopNest
@@ -32,43 +33,45 @@ def analyze_enumerate(program: LoopNest, binding: ParamBinding) -> AnalysisResul
     """
     writers: dict[tuple[str, tuple[int, ...]], tuple[int, ...]] = {}
     stats = {"points_visited": 0, "reads_joined": 0, "instances": 0}
-    for point in program.index_set.points(binding):
-        stats["points_visited"] += 1
-        env = program.point_env(point)
-        for stmt in program.statements:
-            if not stmt.active_at(point, binding):
-                continue
-            elem = stmt.write.element(env, binding)
-            prev = writers.get(elem)
-            if prev is not None and prev != point:
-                raise ValueError(
-                    f"program is not single-assignment: {elem} written at "
-                    f"both {prev} and {point}"
-                )
-            writers[elem] = point
-
     instances: set[DependenceInstance] = set()
-    for point in program.index_set.points(binding):
-        env = program.point_env(point)
-        for stmt in program.statements:
-            if not stmt.active_at(point, binding):
-                continue
-            for acc in stmt.reads:
-                stats["reads_joined"] += 1
-                elem = acc.element(env, binding)
-                src = writers.get(elem)
-                if src is None or src == point:
+    with obs.span("depanalysis.analyze_enumerate"):
+        for point in program.index_set.points(binding):
+            stats["points_visited"] += 1
+            env = program.point_env(point)
+            for stmt in program.statements:
+                if not stmt.active_at(point, binding):
                     continue
-                vec = tuple(s - t for s, t in zip(point, src))
-                kind = "flow"
-                for x in vec:
-                    if x > 0:
-                        break
-                    if x < 0:
-                        kind = "reversed"
-                        break
-                instances.add(DependenceInstance(point, vec, acc.array, kind))
+                elem = stmt.write.element(env, binding)
+                prev = writers.get(elem)
+                if prev is not None and prev != point:
+                    raise ValueError(
+                        f"program is not single-assignment: {elem} written at "
+                        f"both {prev} and {point}"
+                    )
+                writers[elem] = point
+
+        for point in program.index_set.points(binding):
+            env = program.point_env(point)
+            for stmt in program.statements:
+                if not stmt.active_at(point, binding):
+                    continue
+                for acc in stmt.reads:
+                    stats["reads_joined"] += 1
+                    elem = acc.element(env, binding)
+                    src = writers.get(elem)
+                    if src is None or src == point:
+                        continue
+                    vec = tuple(s - t for s, t in zip(point, src))
+                    kind = "flow"
+                    for x in vec:
+                        if x > 0:
+                            break
+                        if x < 0:
+                            kind = "reversed"
+                            break
+                    instances.add(DependenceInstance(point, vec, acc.array, kind))
     stats["instances"] = len(instances)
+    obs.count_many(stats, prefix="depanalysis.")
     return AnalysisResult(sorted(instances, key=lambda i: i.key()), stats)
 
 

@@ -15,6 +15,9 @@ write's guard must hold at the source iteration, the read's at the sink.
 
 from __future__ import annotations
 
+import time
+
+from repro import obs
 from repro.depanalysis.diophantine import bounded_lattice_points
 from repro.depanalysis.gcdtest import gcd_test
 from repro.depanalysis.banerjee import banerjee_test
@@ -74,54 +77,69 @@ def analyze_exact(
         "instances": 0,
     }
     instances: set[DependenceInstance] = set()
+    reg = obs.get_registry()
 
-    for w_stmt in program.statements:
-        write = w_stmt.write
-        for r_stmt in program.statements:
-            for read in r_stmt.reads:
-                if read.array != write.array:
-                    continue
-                stats["pairs_tested"] += 1
-                if use_screens:
-                    if not gcd_test(write, read, order, binding):
-                        stats["gcd_pruned"] += 1
+    def test_pair(w_stmt, write, r_stmt, read) -> None:
+        if use_screens:
+            if not gcd_test(write, read, order, binding):
+                stats["gcd_pruned"] += 1
+                return
+            if not banerjee_test(
+                write, read, order, program.index_set, binding
+            ):
+                stats["banerjee_pruned"] += 1
+                return
+        # Subscript system over z = (j̄', j̄).
+        a_rows: list[list[int]] = []
+        rhs: list[int] = []
+        for w_e, r_e in zip(write.subscripts, read.subscripts):
+            a_rows.append(
+                w_e.coeff_vector(order)
+                + [-c for c in r_e.coeff_vector(order)]
+            )
+            rhs.append(
+                r_e.offset.evaluate(binding) - w_e.offset.evaluate(binding)
+            )
+        stats["systems_solved"] += 1
+        sol = solve_integer_system(a_rows, rhs)
+        if sol is None:
+            stats["no_integer_solution"] += 1
+            return
+        particular, basis = sol
+        for z in bounded_lattice_points(particular, basis, box):
+            stats["candidates_verified"] += 1
+            src = tuple(z[:n])
+            snk = tuple(z[n:])
+            if src == snk:
+                continue
+            if not w_stmt.active_at(src, binding):
+                continue
+            if not r_stmt.active_at(snk, binding):
+                continue
+            vec = tuple(s - t for s, t in zip(snk, src))
+            kind = "flow" if _lex_positive(vec) else "reversed"
+            instances.add(
+                DependenceInstance(snk, vec, write.array, kind)
+            )
+
+    with obs.span("depanalysis.analyze_exact", statements=len(program.statements)):
+        for w_stmt in program.statements:
+            write = w_stmt.write
+            for r_stmt in program.statements:
+                for read in r_stmt.reads:
+                    if read.array != write.array:
                         continue
-                    if not banerjee_test(
-                        write, read, order, program.index_set, binding
-                    ):
-                        stats["banerjee_pruned"] += 1
-                        continue
-                # Subscript system over z = (j̄', j̄).
-                a_rows: list[list[int]] = []
-                rhs: list[int] = []
-                for w_e, r_e in zip(write.subscripts, read.subscripts):
-                    a_rows.append(
-                        w_e.coeff_vector(order)
-                        + [-c for c in r_e.coeff_vector(order)]
-                    )
-                    rhs.append(
-                        r_e.offset.evaluate(binding) - w_e.offset.evaluate(binding)
-                    )
-                stats["systems_solved"] += 1
-                sol = solve_integer_system(a_rows, rhs)
-                if sol is None:
-                    stats["no_integer_solution"] += 1
-                    continue
-                particular, basis = sol
-                for z in bounded_lattice_points(particular, basis, box):
-                    stats["candidates_verified"] += 1
-                    src = tuple(z[:n])
-                    snk = tuple(z[n:])
-                    if src == snk:
-                        continue
-                    if not w_stmt.active_at(src, binding):
-                        continue
-                    if not r_stmt.active_at(snk, binding):
-                        continue
-                    vec = tuple(s - t for s, t in zip(snk, src))
-                    kind = "flow" if _lex_positive(vec) else "reversed"
-                    instances.add(
-                        DependenceInstance(snk, vec, write.array, kind)
-                    )
+                    stats["pairs_tested"] += 1
+                    if reg is None:
+                        test_pair(w_stmt, write, r_stmt, read)
+                    else:
+                        t0 = time.perf_counter()
+                        test_pair(w_stmt, write, r_stmt, read)
+                        reg.observe(
+                            "depanalysis.pair_seconds",
+                            time.perf_counter() - t0,
+                        )
     stats["instances"] = len(instances)
+    if reg is not None:
+        reg.count_many(stats, prefix="depanalysis.")
     return AnalysisResult(sorted(instances, key=lambda i: i.key()), stats)

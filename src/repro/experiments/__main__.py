@@ -43,10 +43,13 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}; known: {sorted(MODULES)}")
         return 2
+    from repro import obs
+
     failed = []
     for key in wanted:
         mod = MODULES[key]
-        report = mod.report()
+        with obs.span(f"experiment.{key}"):
+            report = mod.report()
         print(report)
         print()
         if "FAIL" in report or "MISMATCH" in report:

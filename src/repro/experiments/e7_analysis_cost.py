@@ -14,12 +14,16 @@ dependence structure of the expanded matmul program):
   candidate space grows accordingly);
 * wall time of Theorem 3.1's composition (flat, independent of ``u``, ``p``);
 * equality of the two results (the speed is not bought with wrong answers).
+
+Timing uses :mod:`repro.obs` spans -- the same substrate every other layer
+reports through -- so the cost table and any ``--metrics-out`` run measure
+with one mechanism; the registry's metrics dict is returned alongside the
+table rows.
 """
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.depanalysis import analyze
 from repro.expansion.theorem31 import matmul_bit_level
 from repro.expansion.verify import effective_edges
@@ -36,19 +40,22 @@ def run(
     verify: bool = True,
 ) -> dict:
     """Time both derivations per ``(u, p)`` and check they agree."""
+    reg = obs.get_registry() or obs.Registry()
     rows = []
     all_ok = True
     for u, p in cases:
         h1, h2, h3 = _MATMUL_H
         program = expand_bit_level(h1, h2, h3, [1, 1, 1], [u, u, u], p, "II")
 
-        t0 = time.perf_counter()
-        result = analyze(program, {"p": p}, method="exact")
-        t_general = time.perf_counter() - t0
+        with reg.span("e7.general_analysis", u=u, p=p) as sp_general:
+            result = analyze(program, {"p": p}, method="exact")
+        t_general = sp_general.duration
+        reg.observe("e7.general_seconds", t_general)
 
-        t0 = time.perf_counter()
-        alg = matmul_bit_level(u, p, "II")
-        t_comp = time.perf_counter() - t0
+        with reg.span("e7.theorem31_composition", u=u, p=p) as sp_comp:
+            alg = matmul_bit_level(u, p, "II")
+        t_comp = sp_comp.duration
+        reg.observe("e7.theorem31_seconds", t_comp)
 
         agree = True
         if verify:
@@ -68,7 +75,7 @@ def run(
                 agree,
             )
         )
-    return {"rows": rows, "ok": all_ok}
+    return {"rows": rows, "ok": all_ok, "metrics": reg.metrics()}
 
 
 def report(data: dict | None = None) -> str:

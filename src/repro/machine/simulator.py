@@ -13,6 +13,14 @@ mapping induces, enforcing the machine model of Definition 4.1 at run time:
 The executor is value-generic: callers supply a ``compute(point, store)``
 function; :class:`ValueStore` is the communication fabric (a write-once
 space-time memory with causality checking).
+
+When an ambient :mod:`repro.obs` registry is installed, each run emits a
+``machine.simulate`` span plus counters/gauges: store read/write and
+causality-check totals, per-PE busy beats (``machine.pe_busy.<coords>``),
+makespan, processor count, and link traffic per space displacement
+(``machine.link.<dx,dy>``, with ``machine.link.local`` for in-PE reuse) --
+the displacement a datum travels between producing and consuming PE, which
+condition 2 bounds by the interconnection primitives.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.machine.pe import ProcessorElement
 from repro.mapping.transform import MappingMatrix
 from repro.structures.algorithm import Algorithm
@@ -35,11 +44,19 @@ class ValueStore:
         self._mapping = mapping
         self._values: dict[tuple[str, tuple[int, ...]], int] = {}
         self._current_time: int | None = None
+        self._reader_point: tuple[int, ...] | None = None
+        self._registry = None  # ambient obs registry, set by the simulator
         self.reads = 0
         self.writes = 0
+        self.causality_checks = 0
 
     def _set_time(self, time: int | None) -> None:
         self._current_time = time
+
+    def _set_context(self, time: int | None, point: Sequence[int] | None) -> None:
+        """Clock + reading index point (for link-traffic attribution)."""
+        self._current_time = time
+        self._reader_point = tuple(point) if point is not None else None
 
     def get(
         self,
@@ -56,12 +73,22 @@ class ValueStore:
                 raise KeyError(f"no value for {key} and no boundary default")
             return default
         if self._current_time is not None:
+            self.causality_checks += 1
             produced_at = self._mapping.time_of(key[1])
             if produced_at >= self._current_time:
                 raise AssertionError(
                     f"causality violation: {key} produced at t={produced_at}, "
                     f"read at t={self._current_time}"
                 )
+        reg = self._registry
+        if reg is not None and self._reader_point is not None:
+            src = self._mapping.processor_of(key[1])
+            dst = self._mapping.processor_of(self._reader_point)
+            if src == dst:
+                reg.count("machine.link.local")
+            else:
+                delta = ",".join(str(b - a) for a, b in zip(src, dst))
+                reg.count(f"machine.link.{delta}")
         return self._values[key]
 
     def put(self, var: str, point: Sequence[int], value: int) -> None:
@@ -97,6 +124,8 @@ class SimulationResult:
     busy_per_step: dict[int, int] = field(default_factory=dict)
     store_reads: int = 0
     store_writes: int = 0
+    #: per-PE busy-beat counts, keyed by processor coordinates
+    pe_busy: dict[tuple[int, ...], int] = field(default_factory=dict)
 
     @property
     def always_busy(self) -> bool:
@@ -113,6 +142,12 @@ class SimulationResult:
             return 0.0
         total_busy = sum(self.busy_per_step.values())
         return total_busy / (self.makespan * self.processor_count)
+
+    def pe_utilization(self) -> dict[tuple[int, ...], float]:
+        """Per-PE busy fraction of the makespan."""
+        if not self.makespan:
+            return {pos: 0.0 for pos in self.pe_busy}
+        return {pos: n / self.makespan for pos, n in self.pe_busy.items()}
 
 
 class SpaceTimeSimulator:
@@ -139,33 +174,50 @@ class SpaceTimeSimulator:
         :class:`ValueStore`; it should read its inputs (with boundary
         defaults), compute, and write its outputs.
         """
-        points = sorted(
-            self.algorithm.index_set.points(self.binding),
-            key=self.mapping.time_of,
-        )
-        if not points:
-            return SimulationResult(0, 0, -1, 0, 0)
-        busy: dict[int, int] = {}
-        for point in points:
-            t = self.mapping.time_of(point)
-            pos = self.mapping.processor_of(point)
-            pe = self.pes.get(pos)
-            if pe is None:
-                pe = self.pes[pos] = ProcessorElement(pos)
-            pe.fire(t, point)
-            busy[t] = busy.get(t, 0) + 1
-            self.store._set_time(t)
-            compute(point, self.store)
-        self.store._set_time(None)  # post-run reads are not on the clock
-        first = self.mapping.time_of(points[0])
-        last = self.mapping.time_of(points[-1])
-        return SimulationResult(
-            makespan=last - first + 1,
-            first_time=first,
-            last_time=last,
-            computations=len(points),
-            processor_count=len(self.pes),
-            busy_per_step=busy,
-            store_reads=self.store.reads,
-            store_writes=self.store.writes,
-        )
+        reg = obs.get_registry()
+        self.store._registry = reg
+        with obs.span("machine.simulate", mapping=self.mapping.name):
+            points = sorted(
+                self.algorithm.index_set.points(self.binding),
+                key=self.mapping.time_of,
+            )
+            if not points:
+                return SimulationResult(0, 0, -1, 0, 0)
+            busy: dict[int, int] = {}
+            for point in points:
+                t = self.mapping.time_of(point)
+                pos = self.mapping.processor_of(point)
+                pe = self.pes.get(pos)
+                if pe is None:
+                    pe = self.pes[pos] = ProcessorElement(pos)
+                pe.fire(t, point)
+                busy[t] = busy.get(t, 0) + 1
+                self.store._set_context(t, point)
+                compute(point, self.store)
+            self.store._set_context(None, None)  # post-run reads: off the clock
+            first = self.mapping.time_of(points[0])
+            last = self.mapping.time_of(points[-1])
+            result = SimulationResult(
+                makespan=last - first + 1,
+                first_time=first,
+                last_time=last,
+                computations=len(points),
+                processor_count=len(self.pes),
+                busy_per_step=busy,
+                store_reads=self.store.reads,
+                store_writes=self.store.writes,
+                pe_busy={pos: pe.busy_cycles for pos, pe in self.pes.items()},
+            )
+        if reg is not None:
+            reg.count("machine.computations", result.computations)
+            reg.count("machine.store_reads", self.store.reads)
+            reg.count("machine.store_writes", self.store.writes)
+            reg.count("machine.causality_checks", self.store.causality_checks)
+            reg.gauge("machine.makespan", result.makespan)
+            reg.gauge("machine.processor_count", result.processor_count)
+            reg.gauge("machine.mean_utilization", result.mean_utilization)
+            reg.gauge("machine.always_busy", int(result.always_busy))
+            for pos, n in result.pe_busy.items():
+                label = ",".join(str(x) for x in pos)
+                reg.gauge(f"machine.pe_busy.{label}", n)
+        return result

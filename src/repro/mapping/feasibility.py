@@ -15,9 +15,11 @@ returns a structured report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.mapping.conflicts import conflict_directions
 from repro.mapping.interconnect import InterconnectSolution, solve_interconnect
 from repro.mapping.transform import MappingMatrix
@@ -61,6 +63,21 @@ class FeasibilityReport:
         ]
         return ", ".join(f"{name}:{'ok' if ok else 'FAIL'}" for name, ok in flags)
 
+    def failed_conditions(self) -> list[str]:
+        """Names of the conditions that did not hold (metric labels)."""
+        out = []
+        if not self.schedule_valid:
+            out.append("schedule")
+        if not self.interconnect_ok:
+            out.append("interconnect")
+        if not self.conflict_free:
+            out.append("conflict")
+        if not self.rank_ok:
+            out.append("rank")
+        if not self.coprime_ok:
+            out.append("coprime")
+        return out
+
 
 def check_feasibility(
     t: MappingMatrix,
@@ -90,6 +107,8 @@ def check_feasibility(
         raise ValueError(
             f"mapping width {t.n} does not match algorithm dimension {n}"
         )
+    reg = obs.get_registry()
+    t0 = time.perf_counter() if reg is not None else 0.0
     schedule = t.schedule
     schedule_valid = all(
         sum(c * d for c, d in zip(schedule, vec.vector)) > 0
@@ -111,7 +130,7 @@ def check_feasibility(
     else:
         directions = conflict_directions(t, algorithm.index_set, binding)
 
-    return FeasibilityReport(
+    report = FeasibilityReport(
         schedule_valid=schedule_valid,
         interconnect=interconnect,
         interconnect_ok=interconnect_ok,
@@ -120,3 +139,14 @@ def check_feasibility(
         rank_ok=t.rank() == t.k,
         coprime_ok=t.entries_coprime(),
     )
+    if reg is not None:
+        reg.count("mapping.candidates_enumerated")
+        reg.count("mapping.conflict_checks")
+        # 0-increments materialize both keys, so every metrics export has
+        # the enumerated/pruned pair even for all-feasible runs.
+        reg.count("mapping.feasible", int(report.feasible))
+        reg.count("mapping.pruned", int(not report.feasible))
+        for cond in report.failed_conditions():
+            reg.count(f"mapping.pruned.{cond}")
+        reg.observe("mapping.feasibility_seconds", time.perf_counter() - t0)
+    return report

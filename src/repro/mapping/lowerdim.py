@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from repro import obs
 from repro.mapping.feasibility import FeasibilityReport, check_feasibility
 from repro.mapping.schedule import execution_time
 from repro.mapping.spacetime import processor_count
@@ -108,7 +109,9 @@ def _space_candidates(
     for combo in itertools.combinations(catalog, target_space_dim):
         s = [list(r) for r in combo]
         if integer_rank(s) < target_space_dim:
+            obs.count("mapping.pruned.space_rank")
             continue
+        obs.count("mapping.space_candidates")
         yield s
 
 
@@ -147,29 +150,36 @@ def search_designs(
     """
     found: list[DesignCandidate] = []
     n = algorithm.dim
-    for s in _space_candidates(n, target_space_dim, block_values):
-        candidate = _best_feasible_schedule(
-            algorithm, binding, s, primitives, schedule_bound, require_busy
-        )
-        if candidate is None:
-            continue
-        pi, report = candidate
-        mapping = MappingMatrix(s + [pi], name=f"T-search-{len(found)}")
-        found.append(
-            DesignCandidate(
-                mapping=mapping,
-                time=execution_time(pi, algorithm, binding),
-                processors=processor_count(
-                    mapping, algorithm.index_set, binding
-                ),
-                report=report,
+    with obs.span(
+        "mapping.search_designs",
+        dim=n,
+        target_space_dim=target_space_dim,
+        schedule_bound=schedule_bound,
+    ):
+        for s in _space_candidates(n, target_space_dim, block_values):
+            candidate = _best_feasible_schedule(
+                algorithm, binding, s, primitives, schedule_bound, require_busy
             )
-        )
-        if max_candidates is not None and len(found) >= max_candidates * 4:
-            break
-    found.sort(key=lambda c: (c.time, c.processors))
-    if max_candidates is not None:
-        found = found[:max_candidates]
+            if candidate is None:
+                continue
+            pi, report = candidate
+            mapping = MappingMatrix(s + [pi], name=f"T-search-{len(found)}")
+            found.append(
+                DesignCandidate(
+                    mapping=mapping,
+                    time=execution_time(pi, algorithm, binding),
+                    processors=processor_count(
+                        mapping, algorithm.index_set, binding
+                    ),
+                    report=report,
+                )
+            )
+            if max_candidates is not None and len(found) >= max_candidates * 4:
+                break
+        found.sort(key=lambda c: (c.time, c.processors))
+        if max_candidates is not None:
+            found = found[:max_candidates]
+        obs.count("mapping.designs_found", len(found))
     return found
 
 
@@ -191,16 +201,26 @@ def _best_feasible_schedule(
 
     n = algorithm.dim
     candidates = []
+    schedules_rejected = 0
     for pi in itertools.product(
         range(-schedule_bound, schedule_bound + 1), repeat=n
     ):
         if not schedule_is_valid(pi, algorithm):
+            schedules_rejected += 1
             continue
         candidates.append((execution_time(pi, algorithm, binding), list(pi)))
     candidates.sort(key=lambda item: item[0])
+    obs.count_many(
+        {
+            "schedules_tried": schedules_rejected + len(candidates),
+            "schedules_valid": len(candidates),
+        },
+        prefix="mapping.",
+    )
     for _, pi in candidates:
         mapping = MappingMatrix(space + [pi])
         if require_busy and not mapping.entries_coprime():
+            obs.count("mapping.pruned.coprime_precheck")
             continue
         report = check_feasibility(mapping, algorithm, binding, primitives)
         if report.feasible:

@@ -1,5 +1,7 @@
 """Tests for the command-line interfaces."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -38,6 +40,83 @@ class TestTopLevelCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestObservabilityFlags:
+    def test_structure_metrics_out(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        assert main(
+            ["structure", "--u", "2", "--p", "2", "--metrics-out", str(out_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "5-dimensional" in captured.out  # normal output intact
+        assert "== trace ==" in captured.err
+        metrics = json.loads(out_file.read_text())
+        assert "cli.structure" in metrics["spans"]
+
+    def test_design_metrics_out(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        assert main(
+            ["design", "--u", "2", "--p", "2",
+             "--metrics-out", str(out_file), "--quiet-metrics"]
+        ) == 0
+        assert capsys.readouterr().err == ""  # --quiet-metrics
+        metrics = json.loads(out_file.read_text())
+        assert metrics["counters"]["mapping.candidates_enumerated"] == 2
+        assert metrics["counters"]["mapping.pruned"] == 0
+        assert metrics["spans"]["cli.design"]["total_s"] > 0
+
+    def test_simulate_metrics_and_trace(self, tmp_path, capsys):
+        m_file = tmp_path / "m.json"
+        t_file = tmp_path / "trace.jsonl"
+        assert main(
+            ["simulate", "--u", "2", "--p", "2", "--metrics-out", str(m_file),
+             "--trace", str(t_file), "--quiet-metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "condition 5 (some PE busy at every beat): True" in out
+        assert "per-PE utilization:" in out
+        assert "PE(3, 3):" in out
+        metrics = json.loads(m_file.read_text())
+        assert metrics["counters"]["machine.store_reads"] > 0
+        assert metrics["counters"]["machine.store_writes"] > 0
+        assert any(
+            name.startswith("machine.pe_busy.") for name in metrics["gauges"]
+        )
+        records = [
+            json.loads(line) for line in t_file.read_text().splitlines()
+        ]
+        assert records[-1]["type"] == "metrics"
+        assert any(
+            r["type"] == "span" and r["name"] == "machine.simulate"
+            for r in records
+        )
+
+    def test_flags_accepted_before_subcommand(self, tmp_path):
+        out_file = tmp_path / "m.json"
+        assert main(
+            ["--metrics-out", str(out_file), "--quiet-metrics",
+             "design", "--u", "2", "--p", "2"]
+        ) == 0
+        assert "cli.design" in json.loads(out_file.read_text())["spans"]
+
+    def test_no_flags_installs_no_registry(self, capsys):
+        from repro import obs
+
+        assert main(["simulate", "--u", "2", "--p", "2"]) == 0
+        out = capsys.readouterr()
+        assert obs.get_registry() is None
+        assert "condition 5" not in out.out
+        assert out.err == ""
+
+    def test_experiments_records_per_experiment_spans(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        assert main(
+            ["experiments", "e1", "--metrics-out", str(out_file),
+             "--quiet-metrics"]
+        ) == 0
+        metrics = json.loads(out_file.read_text())
+        assert "experiment.e1" in metrics["spans"]
 
 
 class TestExperimentsCli:
