@@ -4,7 +4,24 @@ Times the joint (S, Π) search that produced designs like the paper's
 Fig. 4, and reports the best designs found for the bit-level matmul
 structure -- including ones the paper does not list (same optimal time,
 fewer processors at small sizes).
+
+Besides the pytest-benchmark kernels, this module doubles as a script:
+
+* ``python benchmarks/bench_design_search.py --smoke [--metrics-out F]``
+  runs a small instance once and asserts the engine's memoization is
+  live (``mapping.cache_hits > 0``) -- the CI guard.
+* ``python benchmarks/bench_design_search.py --record`` runs the blocked
+  u=3, p=3 catalog instance at ``workers=1`` and ``workers=4``, verifies
+  the ranked lists are identical, and updates ``BENCH_design_search.json``
+  at the repo root (the pre-engine baseline entry is preserved).
 """
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
 
 import pytest
 
@@ -13,7 +30,9 @@ from repro.expansion.theorem31 import matmul_bit_level
 from repro.experiments.tables import format_table
 from repro.ir.builders import matmul_word_structure
 from repro.mapping import designs
-from repro.mapping.lowerdim import search_designs
+from repro.mapping.engine import SearchConfig, run_search
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_design_search.json"
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -21,12 +40,11 @@ def report(report_writer):
     yield
     u, p = 2, 2
     alg = matmul_bit_level(u, p, "II")
+    config = SearchConfig(target_space_dim=2, block_values=[p],
+                          schedule_bound=2, max_candidates=5)
     with obs.collecting() as reg:
-        cands = search_designs(
-            alg, {"u": u, "p": p}, designs.fig4_primitives(p),
-            target_space_dim=2, block_values=[p], schedule_bound=2,
-            max_candidates=5,
-        )
+        cands = run_search(alg, {"u": u, "p": p},
+                           designs.fig4_primitives(p), config)
     rows = [
         (i + 1, c.time, c.processors,
          "; ".join(str(list(r)) for r in c.mapping.rows))
@@ -49,17 +67,164 @@ def report(report_writer):
 
 def test_bench_search_word_level(benchmark):
     alg = matmul_word_structure()
-    cands = benchmark(
-        search_designs, alg, {"u": 3}, None, 2, (), 1, 3
-    )
+    config = SearchConfig(target_space_dim=2, block_values=(),
+                          schedule_bound=1, max_candidates=3)
+    cands = benchmark(run_search, alg, {"u": 3}, None, config)
     assert cands and cands[0].time == 7
 
 
 def test_bench_search_bit_level(benchmark):
     alg = matmul_bit_level(2, 2, "II")
+    config = SearchConfig(target_space_dim=2, block_values=[2],
+                          schedule_bound=2, max_candidates=2)
     cands = benchmark(
-        search_designs, alg, {"u": 2, "p": 2},
-        designs.fig4_primitives(2), 2, [2], 2, 2,
+        run_search, alg, {"u": 2, "p": 2}, designs.fig4_primitives(2), config
     )
     assert cands
     assert cands[0].time <= designs.t_fig4(2, 2)
+
+
+def test_bench_search_parallel_identical(benchmark):
+    """workers=4 merge path; asserts determinism against workers=1."""
+    alg = matmul_bit_level(2, 2, "II")
+    binding = {"u": 2, "p": 2}
+    prims = designs.fig4_primitives(2)
+    base = run_search(alg, binding, prims,
+                      SearchConfig(block_values=[2], max_candidates=5))
+    config = SearchConfig(block_values=[2], max_candidates=5, workers=4)
+    cands = benchmark.pedantic(
+        run_search, args=(alg, binding, prims, config), rounds=1, iterations=1
+    )
+    assert [(c.mapping.rows, c.time, c.processors) for c in cands] == \
+        [(c.mapping.rows, c.time, c.processors) for c in base]
+
+
+# -- script modes -----------------------------------------------------------
+
+def _candidate_rows(cands):
+    return [
+        {"time": c.time, "processors": c.processors,
+         "rows": [list(r) for r in c.mapping.rows]}
+        for c in cands
+    ]
+
+
+def _timed_search(alg, binding, prims, config, repeats=3):
+    """Best-of-N wall clock plus the (identical) result and metrics."""
+    best = None
+    cands = None
+    metrics = None
+    for _ in range(repeats):
+        with obs.collecting() as reg:
+            t0 = time.perf_counter()
+            cands = run_search(alg, binding, prims, config)
+            elapsed = time.perf_counter() - t0
+        metrics = obs.metrics_dict(reg)
+        best = elapsed if best is None else min(best, elapsed)
+    return best, cands, metrics
+
+
+def _smoke(metrics_out: str | None) -> int:
+    alg = matmul_bit_level(2, 2, "II")
+    config = SearchConfig(target_space_dim=2, block_values=[2],
+                          schedule_bound=2, max_candidates=5)
+    with obs.collecting() as reg:
+        cands = run_search(alg, {"u": 2, "p": 2},
+                           designs.fig4_primitives(2), config)
+    metrics = obs.metrics_dict(reg)
+    if metrics_out:
+        pathlib.Path(metrics_out).write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+    hits = metrics["counters"].get("mapping.cache_hits", 0)
+    found = metrics["counters"].get("mapping.designs_found", 0)
+    print(f"smoke: {len(cands)} designs, cache_hits={hits}, "
+          f"designs_found={found}")
+    assert cands, "smoke search found no designs"
+    assert hits > 0, "memoization produced no cache hits"
+    return 0
+
+
+def _record(repeats: int) -> int:
+    u, p = 3, 3
+    alg = matmul_bit_level(u, p, "II")
+    binding = {"u": u, "p": p}
+    prims = designs.fig4_primitives(p)
+
+    def config(workers):
+        return SearchConfig(target_space_dim=2, block_values=[p],
+                            schedule_bound=2, max_candidates=5,
+                            workers=workers)
+
+    print(f"recording u={u} p={p} blocked-catalog instance "
+          f"(best of {repeats})...")
+    t_seq, cands_seq, m_seq = _timed_search(alg, binding, prims,
+                                            config(1), repeats)
+    t_par, cands_par, m_par = _timed_search(alg, binding, prims,
+                                            config(4), repeats)
+    identical = _candidate_rows(cands_seq) == _candidate_rows(cands_par)
+    print(f"workers=1: {t_seq:.3f}s  workers=4: {t_par:.3f}s  "
+          f"identical={identical}")
+    assert identical, "parallel search diverged from sequential"
+
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    baseline = data.get("baseline", {}).get("seconds")
+    data.update({
+        "instance": {
+            "algorithm": "matmul_bit_level", "u": u, "p": p,
+            "expansion": "II", "primitives": "fig4",
+            "config": {"target_space_dim": 2, "block_values": [p],
+                       "schedule_bound": 2, "max_candidates": 5},
+        },
+        "environment": {"cpu_count": os.cpu_count(),
+                        "python": sys.version.split()[0]},
+        "engine": {
+            "workers_1": {
+                "seconds": round(t_seq, 3),
+                "cache_hits": m_seq["counters"].get("mapping.cache_hits"),
+                "cache_misses": m_seq["counters"].get("mapping.cache_misses"),
+                "candidates_enumerated": m_seq["counters"].get(
+                    "mapping.candidates_enumerated"),
+                "conflict_checks": m_seq["counters"].get(
+                    "mapping.conflict_checks"),
+            },
+            "workers_4": {
+                "seconds": round(t_par, 3),
+                "cache_hits": m_par["counters"].get("mapping.cache_hits"),
+            },
+            "results_identical_across_workers": identical,
+        },
+        "top_candidates": _candidate_rows(cands_seq),
+    })
+    if baseline:
+        data["speedup_workers_1_vs_baseline"] = round(baseline / t_seq, 2)
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_FILE}")
+    if baseline:
+        print(f"speedup vs pre-engine baseline ({baseline}s): "
+              f"{baseline / t_seq:.1f}x")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true",
+                      help="small instance; assert memoization is live")
+    mode.add_argument("--record", action="store_true",
+                      help="measure the u=3,p=3 instance and update "
+                           "BENCH_design_search.json")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the smoke run's metrics dict as JSON")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats for --record (best-of)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke(args.metrics_out)
+    return _record(args.repeats)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ from repro.expansion.theorem31 import matmul_bit_level
 from repro.machine.bitlevel import BitLevelMatmulMachine
 from repro.mapping import designs
 from repro.mapping.bounds import free_schedule_time
+from repro.mapping.engine import SearchConfig, run_search
 
 
 def _operands(u, p):
@@ -39,3 +40,18 @@ def test_bench_free_schedule_scaling(benchmark, u, p):
     alg = matmul_bit_level(u, p, "II")
     t = benchmark(free_schedule_time, alg, {"u": u, "p": p})
     assert t == designs.t_fig4(u, p)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_bench_search_engine_scaling(benchmark, workers):
+    """Engine wall clock per worker count (single run; pools are costly)."""
+    alg = matmul_bit_level(2, 2, "II")
+    config = SearchConfig(target_space_dim=2, block_values=[2],
+                          schedule_bound=2, max_candidates=5,
+                          workers=workers)
+    cands = benchmark.pedantic(
+        run_search,
+        args=(alg, {"u": 2, "p": 2}, designs.fig4_primitives(2), config),
+        rounds=1, iterations=1,
+    )
+    assert cands and cands[0].time <= designs.t_fig4(2, 2)

@@ -5,6 +5,7 @@ Usage::
     python -m repro experiments [e1 e2 ...]   # reproduce the paper's figures
     python -m repro structure [options]       # print a bit-level structure
     python -m repro design [options]          # check/search a matmul design
+    python -m repro search [options]          # search the design space
     python -m repro simulate [options]        # run the bit-level matmul machine
 
 Every subcommand honors the global observability flags (before or after the
@@ -51,11 +52,54 @@ def _cmd_design(args: argparse.Namespace) -> int:
         ("Fig. 5 (nearest-neighbour)", designs.fig5_mapping(args.p),
          designs.fig5_primitives()),
     ]:
-        rep = check_feasibility(t, alg, binding, primitives=prims)
+        rep = check_feasibility(t, alg, binding, primitives=prims,
+                                full_report=True)
         time = execution_time(t.schedule, alg, binding)
         pes = processor_count(t, alg.index_set, binding)
         print(f"{name}: {rep.summary()}")
         print(f"  t = {time}, PEs = {pes}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.expansion.theorem31 import matmul_bit_level
+    from repro.experiments.tables import format_table
+    from repro.mapping import designs
+    from repro.mapping.engine import SearchConfig, run_search
+    from repro.mapping.interconnect import mesh_primitives
+
+    alg = matmul_bit_level(args.u, args.p, expansion=args.expansion)
+    binding = {"u": args.u, "p": args.p}
+    primitives = {
+        "fig4": lambda: designs.fig4_primitives(args.p),
+        "fig5": lambda: designs.fig5_primitives(),
+        "mesh": lambda: mesh_primitives(args.target_dim),
+        "none": lambda: None,
+    }[args.primitives]()
+    config = SearchConfig(
+        target_space_dim=args.target_dim,
+        block_values=args.block if args.block is not None else [args.p],
+        schedule_bound=args.schedule_bound,
+        max_candidates=None if args.exhaustive else args.max_candidates,
+        workers=args.workers,
+        overcollect=None if args.exhaustive else args.overcollect,
+    )
+    candidates = run_search(alg, binding, primitives, config)
+    if not candidates:
+        print("no feasible design within the search bounds")
+        return 1
+    rows = [
+        (i + 1, c.time, c.processors,
+         "; ".join(str(list(r)) for r in c.mapping.rows))
+        for i, c in enumerate(candidates)
+    ]
+    print(format_table(
+        ["rank", "time", "PEs", "T = [S; Π]"],
+        rows,
+        title=(f"design-space search: bit-level matmul "
+               f"(u={args.u}, p={args.p}, primitives={args.primitives}, "
+               f"workers={config.workers})"),
+    ))
     return 0
 
 
@@ -157,6 +201,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_design = sub.add_parser("design", help="check the paper's designs")
     common(p_design)
     p_design.set_defaults(fn=_cmd_design)
+
+    p_search = sub.add_parser("search", help="search the design space")
+    common(p_search)
+    p_search.add_argument(
+        "--target-dim", type=int, default=2,
+        help="space dimensions of the target array",
+    )
+    p_search.add_argument(
+        "--block", type=int, nargs="*", default=None, metavar="B",
+        help="blocking factors for catalog rows b*e_i + e_j (default: p)",
+    )
+    p_search.add_argument("--schedule-bound", type=int, default=2,
+                          help="max |entry| of candidate schedules")
+    p_search.add_argument("--max-candidates", type=int, default=5,
+                          help="ranked designs to return")
+    p_search.add_argument("--workers", type=int, default=1,
+                          help="worker processes for candidate evaluation")
+    p_search.add_argument(
+        "--overcollect", type=int, default=4,
+        help="collect max_candidates*K feasible designs before ranking",
+    )
+    p_search.add_argument(
+        "--exhaustive", action="store_true",
+        help="evaluate the full catalog (ignore candidate caps)",
+    )
+    p_search.add_argument(
+        "--primitives", choices=["fig4", "fig5", "mesh", "none"],
+        default="fig4", help="interconnection-primitive set P",
+    )
+    p_search.set_defaults(fn=_cmd_search)
 
     p_sim = sub.add_parser("simulate", help="run the bit-level matmul machine")
     common(p_sim)

@@ -12,23 +12,25 @@ from __future__ import annotations
 from repro.expansion.theorem31 import matmul_bit_level
 from repro.experiments.tables import format_table
 from repro.mapping import designs
-from repro.mapping.lowerdim import search_designs
+from repro.mapping.engine import SearchConfig, run_search
 
 __all__ = ["run", "report"]
 
 
-def run(u: int = 2, p: int = 2, max_candidates: int = 5) -> dict:
+def run(
+    u: int = 2, p: int = 2, max_candidates: int = 5, workers: int = 1
+) -> dict:
     """Search and compare against the Fig. 4 reference point."""
     alg = matmul_bit_level(u, p, "II")
-    candidates = search_designs(
-        alg,
-        {"u": u, "p": p},
-        designs.fig4_primitives(p),
+    config = SearchConfig(
         target_space_dim=2,
         block_values=[p],
         schedule_bound=2,
         max_candidates=max_candidates,
+        workers=workers,
     )
+    candidates = run_search(alg, {"u": u, "p": p},
+                            designs.fig4_primitives(p), config)
     t_ref = designs.t_fig4(u, p)
     pe_ref = designs.fig4_processor_count(u, p)
     rows = [

@@ -12,6 +12,9 @@ Implements the design method of Definition 4.1 (Shang/Fortes [5,6], Li/Wah
 * :mod:`repro.mapping.schedule` -- execution time (4.5), optimal linear
   schedule search, and time-optimality certification;
 * :mod:`repro.mapping.spacetime` -- processor counts and array geometry;
+* :mod:`repro.mapping.engine` -- the design-space search engine (shared
+  schedule enumeration, short-circuit feasibility with memoization, and
+  process fan-out) behind the frozen :class:`SearchConfig`;
 * :mod:`repro.mapping.designs` -- the paper's concrete designs: ``T`` of
   (4.2) with ``P, K`` of (4.3) (Fig. 4), ``T'`` of (4.6) with ``P', K'`` of
   (4.7) (Fig. 5), and the word-level baseline of Section 4.2.
@@ -24,7 +27,20 @@ from repro.mapping.interconnect import (
     solve_interconnect,
 )
 from repro.mapping.feasibility import FeasibilityReport, check_feasibility
-from repro.mapping.conflicts import find_conflicts, is_conflict_free
+from repro.mapping.conflicts import (
+    enumerate_conflict_pairs,
+    find_conflicts,
+    is_conflict_free,
+)
+from repro.mapping.memo import EvalCache
+from repro.mapping.engine import (
+    DesignCandidate,
+    SearchConfig,
+    ranked_schedules,
+    run_search,
+    search_designs,
+    space_map_catalog,
+)
 from repro.mapping.schedule import (
     execution_time,
     find_optimal_schedule,
@@ -49,8 +65,16 @@ __all__ = [
     "solve_interconnect",
     "FeasibilityReport",
     "check_feasibility",
+    "enumerate_conflict_pairs",
     "find_conflicts",
     "is_conflict_free",
+    "EvalCache",
+    "SearchConfig",
+    "DesignCandidate",
+    "ranked_schedules",
+    "run_search",
+    "search_designs",
+    "space_map_catalog",
     "execution_time",
     "find_optimal_schedule",
     "schedule_is_valid",

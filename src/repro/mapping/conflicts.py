@@ -6,39 +6,122 @@ in two flavors:
 
 * a *lattice* check: enumerate the integer nullspace of ``T`` inside the
   difference box of the index set -- any nonzero point is a conflict
-  direction (this is binding-parametric only through the box);
-* a *certificate* producer: return concrete colliding pairs for diagnostics.
+  direction (this is binding-parametric only through the box); exact for
+  box index sets;
+* a *certificate* producer: return concrete colliding pairs by hashing
+  ``T j̄`` over the enumerated index set; exact for any index set,
+  exponential in the instance size.
+
+:func:`find_conflicts` is the single entry point: it dispatches to the
+lattice check for plain box index sets and to exact pair enumeration for
+affine-constrained ones (where a lattice direction may fit the bounding box
+but not the actual domain).  The old lattice-only name
+:func:`conflict_directions` survives as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.depanalysis.diophantine import UnboundedLatticeError, bounded_lattice_points
+from repro.mapping.memo import EvalCache
 from repro.mapping.transform import MappingMatrix
 from repro.structures.indexset import IndexSet
 from repro.structures.params import ParamBinding
 from repro.util.linalg import integer_nullspace
 
-__all__ = ["is_conflict_free", "find_conflicts", "conflict_directions"]
+__all__ = [
+    "is_conflict_free",
+    "find_conflicts",
+    "enumerate_conflict_pairs",
+    "conflict_directions",
+]
 
 
-def conflict_directions(
-    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+def find_conflicts(
+    t: MappingMatrix,
+    index_set: IndexSet,
+    binding: ParamBinding,
+    limit: int | None = None,
+    *,
+    cache: EvalCache | None = None,
+) -> list[tuple]:
+    """Conflict witnesses for ``T`` on the instantiated index set.
+
+    Dispatches internally on the index-set shape:
+
+    * plain boxes use the lattice check and return conflict *directions*
+      ``δ̄`` (nonzero integer vectors with ``T δ̄ = 0`` fitting the
+      difference box; each is a whole family of conflicts);
+    * affine-constrained sets (``is_constrained``) use exact enumeration
+      and return concrete colliding *pairs* ``(j̄₁, j̄₂)``.
+
+    An empty list means ``τ`` is injective on ``J``.  ``limit`` bounds the
+    number of witnesses returned (``None`` = all); ``cache``, when given,
+    memoizes the enumeration on a canonicalized key -- the nullspace basis
+    and difference box for the lattice check, the instantiated domain for
+    the pair check -- so equivalent queries across candidate mappings are
+    answered once.
+    """
+    if getattr(index_set, "is_constrained", False):
+        if cache is None:
+            return enumerate_conflict_pairs(t, index_set, binding, limit=limit)
+        key = (
+            "pairs",
+            t.rows,
+            tuple(index_set.bounds(binding)),
+            getattr(index_set, "constraints", ()),
+            limit,
+        )
+        return cache.get_or_compute(
+            key,
+            lambda: enumerate_conflict_pairs(t, index_set, binding, limit=limit),
+        )
+    return _lattice_directions(t, index_set, binding, limit, cache)
+
+
+def _lattice_directions(
+    t: MappingMatrix,
+    index_set: IndexSet,
+    binding: ParamBinding,
+    limit: int | None,
+    cache: EvalCache | None,
 ) -> list[tuple[int, ...]]:
-    """Nonzero integer vectors ``δ̄`` with ``T δ̄ = 0`` fitting in the
-    difference box of the index set (each is a family of conflicts)."""
+    """The lattice flavor: nullspace directions inside the difference box."""
     nullspace = integer_nullspace([list(r) for r in t.rows])
     if not nullspace:
         return []
     bounds = index_set.bounds(binding)
-    diff_box = [(lo - hi, hi - lo) for lo, hi in bounds]
-    out = []
+    diff_box = tuple((lo - hi, hi - lo) for lo, hi in bounds)
+    if cache is None:
+        return _enumerate_directions(nullspace, diff_box, t.n, limit)
+    key = (
+        "lattice",
+        tuple(tuple(int(x) for x in vec) for vec in nullspace),
+        diff_box,
+        limit,
+    )
+    return cache.get_or_compute(
+        key, lambda: _enumerate_directions(nullspace, diff_box, t.n, limit)
+    )
+
+
+def _enumerate_directions(
+    nullspace: list[list[int]],
+    diff_box: tuple[tuple[int, int], ...],
+    n: int,
+    limit: int | None,
+) -> list[tuple[int, ...]]:
+    out: list[tuple[int, ...]] = []
     try:
-        for vec in bounded_lattice_points([0] * t.n, nullspace, diff_box):
+        for vec in bounded_lattice_points([0] * n, nullspace, list(diff_box)):
             if any(vec):
                 out.append(tuple(vec))
+                if limit is not None and len(out) >= limit:
+                    break
     except UnboundedLatticeError:
         # A nullspace direction unconstrained by the box: infinitely many
-        # conflicts; report the raw basis vector.
+        # conflicts; report the raw basis vectors.
         return [tuple(v) for v in nullspace]
     return out
 
@@ -46,33 +129,42 @@ def conflict_directions(
 def is_conflict_free(
     t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
 ) -> bool:
-    """True when ``τ`` is injective on the instantiated index set.
-
-    For affine-constrained index sets the lattice test over the bounding
-    box would be conservative (a conflict direction may fit the box but
-    not the actual domain), so exact hashing is used instead.
-    """
-    if getattr(index_set, "is_constrained", False):
-        return not find_conflicts(t, index_set, binding, limit=1)
-    return not conflict_directions(t, index_set, binding)
+    """True when ``τ`` is injective on the instantiated index set."""
+    return not find_conflicts(t, index_set, binding, limit=1)
 
 
-def find_conflicts(
+def enumerate_conflict_pairs(
     t: MappingMatrix,
     index_set: IndexSet,
     binding: ParamBinding,
-    limit: int = 10,
+    limit: int | None = 10,
 ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
     """Concrete colliding index-point pairs (up to ``limit``), by hashing
-    ``T j̄`` over the enumerated index set.  Useful for error messages."""
+    ``T j̄`` over the enumerated index set.  Useful for error messages and
+    exact on any index-set shape, at enumeration cost."""
     seen: dict[tuple, tuple[int, ...]] = {}
     out: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
     for point in index_set.points(binding):
         image = (t.processor_of(point), t.time_of(point))
         if image in seen:
             out.append((seen[image], point))
-            if len(out) >= limit:
+            if limit is not None and len(out) >= limit:
                 break
         else:
             seen[image] = point
     return out
+
+
+def conflict_directions(
+    t: MappingMatrix, index_set: IndexSet, binding: ParamBinding
+) -> list[tuple[int, ...]]:
+    """Deprecated: use :func:`find_conflicts`, which runs the same lattice
+    check for box index sets (and dispatches to exact pair enumeration for
+    constrained ones)."""
+    warnings.warn(
+        "conflict_directions() is deprecated; call find_conflicts(), which "
+        "dispatches between the lattice check and exact pair enumeration",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _lattice_directions(t, index_set, binding, None, None)

@@ -125,15 +125,29 @@ def solve_interconnect(
     d_matrix: Sequence[Sequence[int]],
     schedule: Sequence[int],
     p_matrix: Sequence[Sequence[int]],
+    *,
+    cache=None,
 ) -> InterconnectSolution | None:
     """Solve ``S·D = P·K`` column by column under the deadline (4.1).
 
     Returns ``None`` when some dependence displacement cannot be realized
     with the given primitives within its schedule slack.
+
+    ``cache`` (an :class:`repro.mapping.memo.EvalCache`) memoizes the
+    per-column subproblem ``P k̄ = S d̄_i`` with ``Σ k̄ <= Π d̄_i`` on the
+    canonical key ``(P, S d̄_i, Π d̄_i)`` -- across the candidate mappings of
+    a design-space search the same displacement/deadline pairs recur for
+    every schedule sharing a space row, so most columns are answered
+    without re-running the depth-first search.
     """
     m = len(d_matrix[0]) if d_matrix else 0
     n = len(d_matrix)
     r = len(p_matrix[0]) if p_matrix else 0
+    p_key = (
+        tuple(tuple(int(x) for x in row) for row in p_matrix)
+        if cache is not None
+        else None
+    )
     k_cols: list[list[int]] = []
     hops: list[int] = []
     deadlines: list[int] = []
@@ -141,7 +155,14 @@ def solve_interconnect(
         d_col = [d_matrix[row][i] for row in range(n)]
         target = mat_vec(list(s_matrix), d_col)
         deadline = sum(schedule[row] * d_col[row] for row in range(n))
-        k_col = _column_combinations(p_matrix, target, deadline)
+        if cache is None:
+            k_col = _column_combinations(p_matrix, target, deadline)
+        else:
+            key = ("icol", p_key, tuple(target), deadline)
+            k_col = cache.get_or_compute(
+                key,
+                lambda: _column_combinations(p_matrix, target, deadline),
+            )
         if k_col is None:
             return None
         k_cols.append(k_col)

@@ -1,228 +1,37 @@
 """Design-space search: mapping algorithms onto (lower-dimensional) arrays.
 
-The paper applies a design method from its references [5, 6, 10]
-(Shang/Fortes, Ganapathy/Wah): given an algorithm ``(J, D, E)``, find a
-mapping ``T = [S; Π]`` onto a ``(k-1)``-dimensional array satisfying
-Definition 4.1 and minimizing total execution time.  The paper presents the
-*results* of that search (eqs. (4.2)/(4.6)); this module implements the
-search itself, so new designs -- including designs onto arrays of lower
-dimension than the canonical ones -- can be synthesized for any structure
-Theorem 3.1 produces.
+The search itself now lives in :mod:`repro.mapping.engine` -- a staged
+engine (catalog → rank screen → shared schedule enumeration → short-circuit
+feasibility with memoization → parallel merge) behind the frozen
+:class:`~repro.mapping.engine.SearchConfig`.  This module remains as the
+historical import location; everything below is a re-export.
 
 The space-map generator proposes rows from a catalog shaped like the
 paper's own designs: per-axis projections ``e_i``, axis sums/differences
 ``e_i ± e_j``, and *blocked* combinations ``b·e_i + e_j`` (the paper's
 ``p·j₁ + i₁`` rows, which tile the array into ``p x p`` word blocks).
-Candidates are screened for rank, conflict-freedom and coprimality; for
-each surviving ``S``, the optimal schedule under the interconnect deadline
-is found by bounded exhaustive search, and candidates are ranked by
+Candidates are screened for rank and coprimality; for each surviving
+``S``, the optimal schedule under the interconnect deadline is found by
+walking the shared time-sorted schedule list, and candidates are ranked by
 execution time, then processor count.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from repro.mapping.engine import (
+    DesignCandidate,
+    SearchConfig,
+    ranked_schedules,
+    run_search,
+    search_designs,
+    space_map_catalog,
+)
 
-from repro import obs
-from repro.mapping.feasibility import FeasibilityReport, check_feasibility
-from repro.mapping.schedule import execution_time
-from repro.mapping.spacetime import processor_count
-from repro.mapping.transform import MappingMatrix
-from repro.structures.algorithm import Algorithm
-from repro.structures.params import ParamBinding
-from repro.util.intmath import gcd_list
-from repro.util.linalg import integer_rank
-
-__all__ = ["DesignCandidate", "space_map_catalog", "search_designs"]
-
-
-@dataclass
-class DesignCandidate:
-    """One feasible design produced by the search."""
-
-    mapping: MappingMatrix
-    time: int
-    processors: int
-    report: FeasibilityReport
-
-    def __repr__(self) -> str:
-        return (
-            f"DesignCandidate(t={self.time}, PEs={self.processors}, "
-            f"T={[list(r) for r in self.mapping.rows]})"
-        )
-
-
-def space_map_catalog(
-    n: int, block_values: Sequence[int] = ()
-) -> list[tuple[int, ...]]:
-    """Candidate space-map rows for an ``n``-dimensional algorithm.
-
-    Returns per-axis projections, pairwise sums/differences, and blocked
-    rows ``b·e_i + e_j`` for each ``b`` in ``block_values`` -- the shapes
-    from which the paper's own ``S`` matrices are drawn.
-    """
-    rows: list[tuple[int, ...]] = []
-
-    def unit(i: int, scale: int = 1) -> list[int]:
-        row = [0] * n
-        row[i] = scale
-        return row
-
-    for i in range(n):
-        rows.append(tuple(unit(i)))
-    for i in range(n):
-        for j in range(n):
-            if i == j:
-                continue
-            row = unit(i)
-            row[j] = 1
-            rows.append(tuple(row))
-            row = unit(i)
-            row[j] = -1
-            rows.append(tuple(row))
-    for b in block_values:
-        for i in range(n):
-            for j in range(n):
-                if i == j:
-                    continue
-                row = unit(i, b)
-                row[j] = 1
-                rows.append(tuple(row))
-    # Deduplicate while preserving order.
-    seen: set[tuple[int, ...]] = set()
-    out = []
-    for r in rows:
-        if r not in seen:
-            seen.add(r)
-            out.append(r)
-    return out
-
-
-def _space_candidates(
-    n: int,
-    target_space_dim: int,
-    block_values: Sequence[int],
-) -> Iterator[list[list[int]]]:
-    catalog = space_map_catalog(n, block_values)
-    for combo in itertools.combinations(catalog, target_space_dim):
-        s = [list(r) for r in combo]
-        if integer_rank(s) < target_space_dim:
-            obs.count("mapping.pruned.space_rank")
-            continue
-        obs.count("mapping.space_candidates")
-        yield s
-
-
-def search_designs(
-    algorithm: Algorithm,
-    binding: ParamBinding,
-    primitives: Sequence[Sequence[int]] | None,
-    target_space_dim: int = 2,
-    block_values: Sequence[int] = (),
-    schedule_bound: int = 2,
-    max_candidates: int | None = 10,
-    require_busy: bool = True,
-) -> list[DesignCandidate]:
-    """Enumerate feasible designs, best (fastest, then smallest) first.
-
-    Parameters
-    ----------
-    algorithm:
-        The algorithm ``(J, D, E)`` to map.
-    binding:
-        Parameter values instantiating ``J``.
-    primitives:
-        Interconnection primitive matrix ``P`` for the target array
-        (``None`` = unconstrained interconnect; condition 2 waived).
-    target_space_dim:
-        ``k - 1``, the array dimension to synthesize (1 = linear array).
-    block_values:
-        Block factors for the catalog's ``b·e_i + e_j`` rows (pass ``[p]``
-        to reach designs like the paper's Fig. 4).
-    schedule_bound:
-        Coefficient bound for the optimal-schedule search per candidate.
-    max_candidates:
-        Stop after this many feasible designs (``None`` = exhaustive).
-    require_busy:
-        Enforce condition 5 (coprime entries of ``T``).
-    """
-    found: list[DesignCandidate] = []
-    n = algorithm.dim
-    with obs.span(
-        "mapping.search_designs",
-        dim=n,
-        target_space_dim=target_space_dim,
-        schedule_bound=schedule_bound,
-    ):
-        for s in _space_candidates(n, target_space_dim, block_values):
-            candidate = _best_feasible_schedule(
-                algorithm, binding, s, primitives, schedule_bound, require_busy
-            )
-            if candidate is None:
-                continue
-            pi, report = candidate
-            mapping = MappingMatrix(s + [pi], name=f"T-search-{len(found)}")
-            found.append(
-                DesignCandidate(
-                    mapping=mapping,
-                    time=execution_time(pi, algorithm, binding),
-                    processors=processor_count(
-                        mapping, algorithm.index_set, binding
-                    ),
-                    report=report,
-                )
-            )
-            if max_candidates is not None and len(found) >= max_candidates * 4:
-                break
-        found.sort(key=lambda c: (c.time, c.processors))
-        if max_candidates is not None:
-            found = found[:max_candidates]
-        obs.count("mapping.designs_found", len(found))
-    return found
-
-
-def _best_feasible_schedule(
-    algorithm: Algorithm,
-    binding: ParamBinding,
-    space: list[list[int]],
-    primitives: Sequence[Sequence[int]] | None,
-    schedule_bound: int,
-    require_busy: bool,
-) -> tuple[list[int], FeasibilityReport] | None:
-    """The fastest schedule making ``[space; Π]`` pass Definition 4.1.
-
-    Enumerates schedules within the coefficient bound, cheapest execution
-    time first, and returns the first one whose full feasibility check
-    (including conflict-freedom with this specific ``S``) passes.
-    """
-    from repro.mapping.schedule import schedule_is_valid
-
-    n = algorithm.dim
-    candidates = []
-    schedules_rejected = 0
-    for pi in itertools.product(
-        range(-schedule_bound, schedule_bound + 1), repeat=n
-    ):
-        if not schedule_is_valid(pi, algorithm):
-            schedules_rejected += 1
-            continue
-        candidates.append((execution_time(pi, algorithm, binding), list(pi)))
-    candidates.sort(key=lambda item: item[0])
-    obs.count_many(
-        {
-            "schedules_tried": schedules_rejected + len(candidates),
-            "schedules_valid": len(candidates),
-        },
-        prefix="mapping.",
-    )
-    for _, pi in candidates:
-        mapping = MappingMatrix(space + [pi])
-        if require_busy and not mapping.entries_coprime():
-            obs.count("mapping.pruned.coprime_precheck")
-            continue
-        report = check_feasibility(mapping, algorithm, binding, primitives)
-        if report.feasible:
-            return pi, report
-    return None
+__all__ = [
+    "DesignCandidate",
+    "SearchConfig",
+    "ranked_schedules",
+    "run_search",
+    "search_designs",
+    "space_map_catalog",
+]

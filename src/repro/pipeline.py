@@ -24,9 +24,9 @@ from repro.expansion.expansions import Expansion, get_expansion
 from repro.expansion.theorem31 import bit_level_from_vectors
 from repro.expansion.verify import VerificationReport, verify_theorem31
 from repro.machine.model import BitLevelModelMachine
+from repro.mapping.engine import DesignCandidate, SearchConfig, run_search
 from repro.mapping.feasibility import FeasibilityReport, check_feasibility
 from repro.mapping.interconnect import mesh_primitives, with_long_wires
-from repro.mapping.lowerdim import DesignCandidate, search_designs
 from repro.mapping.transform import MappingMatrix
 from repro.structures.algorithm import Algorithm
 
@@ -97,6 +97,7 @@ class BitLevelDesigner:
         target_space_dim: int = 2,
         schedule_bound: int = 2,
         max_candidates: int = 5,
+        workers: int = 1,
     ) -> DesignCandidate:
         """Search the design space; return the best feasible design.
 
@@ -105,14 +106,15 @@ class BitLevelDesigner:
         """
         if primitives is None:
             primitives = self.default_primitives()
-        candidates = search_designs(
-            self.structure(),
-            self.binding,
-            primitives,
+        config = SearchConfig(
             target_space_dim=target_space_dim,
             block_values=[self.p],
             schedule_bound=schedule_bound,
             max_candidates=max_candidates,
+            workers=workers,
+        )
+        candidates = run_search(
+            self.structure(), self.binding, primitives, config
         )
         if not candidates:
             raise RuntimeError(

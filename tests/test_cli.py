@@ -25,6 +25,41 @@ class TestTopLevelCli:
         assert "Fig. 4" in out and "Fig. 5" in out
         assert "t = 7" in out and "t = 9" in out
 
+    def test_search(self, capsys):
+        assert main(["search", "--u", "2", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "design-space search" in out
+        assert "T = [S; Π]" in out
+        assert "workers=1" in out
+
+    def test_search_parallel_output_identical(self, capsys):
+        assert main(["search", "--u", "2", "--p", "2"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["search", "--u", "2", "--p", "2", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Same ranked table; only the workers= header differs.
+        strip = lambda text: text.splitlines()[1:]
+        assert strip(parallel) == strip(sequential)
+
+    def test_search_unconstrained_primitives(self, capsys):
+        assert main(
+            ["search", "--u", "2", "--p", "2", "--primitives", "none",
+             "--max-candidates", "2"]
+        ) == 0
+        assert "primitives=none" in capsys.readouterr().out
+
+    def test_search_metrics_out(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        assert main(
+            ["search", "--u", "2", "--p", "2",
+             "--metrics-out", str(out_file), "--quiet-metrics"]
+        ) == 0
+        metrics = json.loads(out_file.read_text())
+        assert metrics["counters"]["mapping.cache_hits"] > 0
+        assert metrics["counters"]["mapping.designs_found"] > 0
+        assert metrics["gauges"]["mapping.workers"] == 1
+        assert "mapping.search_designs" in metrics["spans"]
+
     def test_simulate_fig4(self, capsys):
         assert main(["simulate", "--u", "2", "--p", "2"]) == 0
         out = capsys.readouterr().out

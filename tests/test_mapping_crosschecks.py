@@ -14,7 +14,11 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mapping.conflicts import find_conflicts, is_conflict_free
+from repro.mapping.conflicts import (
+    enumerate_conflict_pairs,
+    find_conflicts,
+    is_conflict_free,
+)
 from repro.mapping.schedule import (
     execution_time,
     find_optimal_schedule,
@@ -44,18 +48,16 @@ class TestConflictCrossCheck:
         size = data.draw(st.integers(2, 3))
         index_set = IndexSet.cube(n, size)
         lattice_says_free = is_conflict_free(t, index_set, {})
-        hashing_pairs = find_conflicts(t, index_set, {}, limit=1)
+        hashing_pairs = enumerate_conflict_pairs(t, index_set, {}, limit=1)
         assert lattice_says_free == (not hashing_pairs)
 
     @given(st.data())
     @settings(max_examples=40, deadline=None)
     def test_conflict_directions_are_real(self, data):
-        from repro.mapping.conflicts import conflict_directions
-
         n = 3
         t = random_mapping(data.draw, 2, n)
         index_set = IndexSet.cube(n, 3)
-        for d in conflict_directions(t, index_set, {}):
+        for d in find_conflicts(t, index_set, {}):
             assert any(d)
             assert t.map_vector(list(d)) == [0] * t.k
 

@@ -1,4 +1,4 @@
-"""Tests for the design-space search (mapping.lowerdim)."""
+"""Tests for the design-space search (engine, via the lowerdim re-exports)."""
 
 import pytest
 
@@ -7,7 +7,8 @@ from repro.ir.builders import matmul_word_structure
 from repro.mapping import designs
 from repro.mapping.lowerdim import (
     DesignCandidate,
-    search_designs,
+    SearchConfig,
+    run_search,
     space_map_catalog,
 )
 
@@ -44,10 +45,9 @@ class TestSearchWordLevel:
         # Word-level matmul: the search must find a design as fast as the
         # classical T_w with t = 3(u-1)+1.
         alg = matmul_word_structure()
-        cands = search_designs(
-            alg, {"u": 3}, primitives=None, target_space_dim=2,
-            schedule_bound=1, max_candidates=5,
-        )
+        cands = run_search(alg, {"u": 3}, None, SearchConfig(
+            target_space_dim=2, schedule_bound=1, max_candidates=5,
+        ))
         assert cands
         assert cands[0].time == 7  # 3(u-1)+1 at u=3
         # All results are genuinely feasible and sorted by (time, PEs).
@@ -58,9 +58,9 @@ class TestSearchWordLevel:
 
     def test_candidate_repr(self):
         alg = matmul_word_structure()
-        cands = search_designs(
-            alg, {"u": 2}, None, 2, schedule_bound=1, max_candidates=1
-        )
+        cands = run_search(alg, {"u": 2}, None, SearchConfig(
+            schedule_bound=1, max_candidates=1,
+        ))
         assert "t=" in repr(cands[0])
 
 
@@ -68,13 +68,10 @@ class TestSearchBitLevel:
     def test_matches_or_beats_fig4_time(self):
         u, p = 2, 2
         alg = matmul_bit_level(u, p, "II")
-        cands = search_designs(
-            alg, {"u": u, "p": p},
-            primitives=designs.fig4_primitives(p),
-            target_space_dim=2,
-            block_values=[p],
-            schedule_bound=2,
-            max_candidates=3,
+        cands = run_search(
+            alg, {"u": u, "p": p}, designs.fig4_primitives(p),
+            SearchConfig(target_space_dim=2, block_values=[p],
+                         schedule_bound=2, max_candidates=3),
         )
         assert cands
         assert cands[0].time <= designs.t_fig4(u, p)
@@ -82,9 +79,9 @@ class TestSearchBitLevel:
     def test_designs_conflict_free(self):
         u, p = 2, 2
         alg = matmul_bit_level(u, p, "II")
-        cands = search_designs(
+        cands = run_search(
             alg, {"u": u, "p": p}, designs.fig4_primitives(p),
-            2, [p], 2, max_candidates=2,
+            SearchConfig(block_values=[p], max_candidates=2),
         )
         for c in cands:
             assert c.report.conflict_free
@@ -94,16 +91,15 @@ class TestSearchBitLevel:
         # With small schedule coefficients a 1-D map of the 5-D algorithm
         # cannot be injective: the search correctly returns nothing.
         alg = matmul_bit_level(2, 2, "II")
-        cands = search_designs(
-            alg, {"u": 2, "p": 2}, None, target_space_dim=1,
-            block_values=[2], schedule_bound=2, max_candidates=2,
-        )
+        cands = run_search(alg, {"u": 2, "p": 2}, None, SearchConfig(
+            target_space_dim=1, block_values=[2], max_candidates=2,
+        ))
         assert cands == []
 
     def test_unconstrained_interconnect(self):
         alg = matmul_bit_level(2, 2, "II")
-        cands = search_designs(
-            alg, {"u": 2, "p": 2}, None, 2, [2], 2, max_candidates=2
-        )
+        cands = run_search(alg, {"u": 2, "p": 2}, None, SearchConfig(
+            block_values=[2], max_candidates=2,
+        ))
         assert cands
         assert all(c.report.interconnect is None for c in cands)

@@ -5,7 +5,7 @@ import pytest
 from repro.expansion.theorem31 import matmul_bit_level
 from repro.ir.builders import matmul_word_structure
 from repro.mapping.conflicts import (
-    conflict_directions,
+    enumerate_conflict_pairs,
     find_conflicts,
     is_conflict_free,
 )
@@ -124,13 +124,13 @@ class TestConflicts:
         t = MappingMatrix([[1, 0, 0], [1, 0, 0]])
         alg = matmul_word_structure()
         assert not is_conflict_free(t, alg.index_set, {"u": 3})
-        dirs = conflict_directions(t, alg.index_set, {"u": 3})
+        dirs = find_conflicts(t, alg.index_set, {"u": 3})
         assert all(t.map_vector(list(d)) == [0, 0] for d in dirs)
 
     def test_find_conflicts_certificates(self):
         t = MappingMatrix([[1, 0, 0], [1, 0, 0]])
         alg = matmul_word_structure()
-        pairs = find_conflicts(t, alg.index_set, {"u": 2}, limit=5)
+        pairs = enumerate_conflict_pairs(t, alg.index_set, {"u": 2}, limit=5)
         assert pairs
         for a, b in pairs:
             assert a != b

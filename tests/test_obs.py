@@ -237,13 +237,14 @@ class TestInstrumentedLayers:
     def test_search_designs_enumeration_counters(self):
         from repro.expansion.theorem31 import matmul_bit_level
         from repro.mapping import designs
-        from repro.mapping.lowerdim import search_designs
+        from repro.mapping.engine import SearchConfig, run_search
 
         alg = matmul_bit_level(2, 2, "II")
         with obs.collecting() as reg:
-            found = search_designs(
+            found = run_search(
                 alg, {"u": 2, "p": 2}, designs.fig4_primitives(2),
-                target_space_dim=2, block_values=[2], max_candidates=2,
+                SearchConfig(target_space_dim=2, block_values=[2],
+                             max_candidates=2),
             )
         assert found
         c = reg.counters
@@ -252,4 +253,6 @@ class TestInstrumentedLayers:
         )
         assert c["mapping.space_candidates"] > 0
         assert c["mapping.schedules_tried"] >= c["mapping.schedules_valid"]
+        assert c["mapping.cache_hits"] > 0
+        assert reg.gauges["mapping.workers"] == 1
         assert "mapping.search_designs" in reg.span_stats()
