@@ -36,6 +36,7 @@ Subpackages
 ``repro.mapping``      Definition 4.1 machinery and the paper's designs
 ``repro.machine``      systolic-array simulators (bit-level and word-level)
 ``repro.experiments``  harnesses regenerating every figure of the paper
+``repro.verify``       differential verification (randomized oracles)
 """
 
 from repro.structures import (
@@ -59,6 +60,12 @@ from repro.mapping import (
     find_optimal_schedule,
     processor_count,
 )
+from repro.verify import (
+    VerifyConfig,
+    VerifyReport,
+    run_mutation_check,
+    run_verification,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +85,9 @@ __all__ = [
     "execution_time",
     "find_optimal_schedule",
     "processor_count",
+    "VerifyConfig",
+    "VerifyReport",
+    "run_verification",
+    "run_mutation_check",
     "__version__",
 ]

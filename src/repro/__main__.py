@@ -7,6 +7,7 @@ Usage::
     python -m repro design [options]          # check/search a matmul design
     python -m repro search [options]          # search the design space
     python -m repro simulate [options]        # run the bit-level matmul machine
+    python -m repro verify [options]          # differential oracle verification
 
 Every subcommand honors the global observability flags (before or after the
 subcommand name): ``--metrics-out FILE`` writes the flat metrics dict as
@@ -146,6 +147,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if run.product == want else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import VerifyConfig, run_mutation_check, run_verification
+
+    cases = 10 if args.smoke and args.cases is None else (args.cases or 50)
+    budget = 5.0 if args.smoke and args.budget_s is None else args.budget_s
+
+    if args.mutation_check:
+        counterexample = run_mutation_check(seed=args.seed, cases=cases)
+        if counterexample is None:
+            print(
+                "mutation check FAILED: oracle_theorem31 did not catch the "
+                "seeded validity bug"
+            )
+            return 1
+        print(
+            f"mutation check ok: seeded c' validity bug caught, "
+            f"counterexample shrunk in {counterexample.shrink_steps} steps"
+        )
+        print(f"  case: {dict(counterexample.case)}")
+        print(f"  {counterexample.detail}")
+        return 0
+
+    config = VerifyConfig(
+        seed=args.seed,
+        cases=cases,
+        budget_s=budget,
+        oracles=tuple(args.oracle) if args.oracle else VerifyConfig().oracles,
+    )
+    report = run_verification(config)
+    print(report.summary())
+    if args.report:
+        try:
+            report.write(args.report)
+            print(f"report written to {args.report}")
+        except OSError as exc:
+            print(f"repro verify: cannot write report: {exc}", file=sys.stderr)
+            return 1
+    return 0 if report.ok else 1
+
+
 def _obs_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
     """The global observability flags.
 
@@ -238,6 +279,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--gantt", action="store_true", help="print PE chart")
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_verify = sub.add_parser(
+        "verify", help="differential verification: run the randomized oracles"
+    )
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--cases", type=int, default=None,
+        help="random cases per oracle (default 50; 10 with --smoke)",
+    )
+    p_verify.add_argument(
+        "--budget-s", type=float, default=None, metavar="S",
+        help="wall-clock budget per oracle in seconds (default unbounded; "
+        "5 with --smoke)",
+    )
+    p_verify.add_argument(
+        "--oracle", action="append", default=None,
+        choices=["theorem31", "mapping", "simulator"],
+        help="run only this oracle (repeatable; default: all three)",
+    )
+    p_verify.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the JSON report (counterexamples included) to FILE",
+    )
+    p_verify.add_argument(
+        "--smoke", action="store_true",
+        help="small fast preset for PR CI (10 cases, 5s budget per oracle)",
+    )
+    p_verify.add_argument(
+        "--mutation-check", action="store_true",
+        help="self-test: seed a wrong validity condition into the Theorem "
+        "3.1 assembly and require oracle_theorem31 to catch it",
+    )
+    _obs_options(p_verify, top_level=False)
+    p_verify.set_defaults(fn=_cmd_verify)
     return parser
 
 

@@ -17,6 +17,7 @@ exactly the cost the paper's Theorem 3.1 avoids.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Iterator, Sequence
 
 from repro.util.intmath import ceil_div, floor_div
@@ -85,6 +86,81 @@ def _tighten(
     return True
 
 
+def _algebraic_bounds(
+    rows: list[tuple[list[int], int, int]], m: int
+) -> list[list[int]] | None:
+    """Explicit ``t̄`` bounds from an invertible row submatrix.
+
+    :func:`_tighten` is one-variable-at-a-time propagation: it can only
+    tighten ``t_k`` in a row whose *other* variables already have finite
+    intervals, so it stalls completely when every row couples two or more
+    still-unbounded variables.  But whenever the coefficient rows span
+    ``Q^m`` -- always the case when the lattice basis is linearly
+    independent and every touched coordinate is box-bounded -- the polytope
+    ``{t̄ : lo_i <= c̄_i·t̄ <= hi_i}`` *is* bounded, and explicit bounds
+    follow from inverting any ``m`` independent rows ``M``: each
+    ``t_k = Σ_j (M⁻¹)_{kj} y_j`` with ``y_j`` confined to its row interval.
+
+    Returns per-variable integer intervals ``[lo, hi]``, or ``None`` when
+    the rows do not span ``Q^m`` (the genuinely unbounded case).
+    """
+    # Select m linearly independent rows by Gaussian elimination over Q.
+    work: list[list[Fraction]] = []
+    chosen: list[int] = []
+    pivots: list[int] = []
+    for idx, (coeffs, _, _) in enumerate(rows):
+        vec = [Fraction(c) for c in coeffs]
+        for row, piv in zip(work, pivots):
+            if vec[piv]:
+                factor = vec[piv] / row[piv]
+                vec = [a - factor * b for a, b in zip(vec, row)]
+        piv = next((k for k, v in enumerate(vec) if v), None)
+        if piv is None:
+            continue
+        work.append(vec)
+        pivots.append(piv)
+        chosen.append(idx)
+        if len(chosen) == m:
+            break
+    if len(chosen) < m:
+        return None
+
+    # Invert M (rows `chosen`) by Gauss-Jordan over Q.
+    mat = [
+        [Fraction(c) for c in rows[idx][0]] + [
+            Fraction(int(j == pos)) for j in range(m)
+        ]
+        for pos, idx in enumerate(chosen)
+    ]
+    for col in range(m):
+        pivot = next(r for r in range(col, m) if mat[r][col])
+        mat[col], mat[pivot] = mat[pivot], mat[col]
+        inv = 1 / mat[col][col]
+        mat[col] = [x * inv for x in mat[col]]
+        for r in range(m):
+            if r != col and mat[r][col]:
+                factor = mat[r][col]
+                mat[r] = [a - factor * b for a, b in zip(mat[r], mat[col])]
+    inverse = [row[m:] for row in mat]
+
+    out: list[list[int]] = []
+    for k in range(m):
+        lo_sum = Fraction(0)
+        hi_sum = Fraction(0)
+        for j, idx in enumerate(chosen):
+            _, lo_j, hi_j = rows[idx]
+            a, b = inverse[k][j] * lo_j, inverse[k][j] * hi_j
+            lo_sum += min(a, b)
+            hi_sum += max(a, b)
+        out.append(
+            [
+                ceil_div(lo_sum.numerator, lo_sum.denominator),
+                floor_div(hi_sum.numerator, hi_sum.denominator),
+            ]
+        )
+    return out
+
+
 def bounded_lattice_points(
     particular: Sequence[int],
     basis: Sequence[Sequence[int]],
@@ -123,11 +199,28 @@ def bounded_lattice_points(
     intervals: list[list] = [[_INF, _INF] for _ in range(m)]
     if not _tighten(intervals, rows):
         return
-    for k, (lo, hi) in enumerate(intervals):
-        if lo is _INF or hi is _INF:
+    if any(lo is _INF or hi is _INF for lo, hi in intervals):
+        # Propagation stalled (it needs all-but-one variable of some row
+        # already bounded); fall back to algebraic bounds from an
+        # invertible row submatrix, then intersect and re-tighten.
+        algebraic = _algebraic_bounds(rows, m)
+        if algebraic is None:
+            k = next(
+                k for k, (lo, hi) in enumerate(intervals)
+                if lo is _INF or hi is _INF
+            )
             raise UnboundedLatticeError(
                 f"lattice direction t_{k} is not bounded by the box constraints"
             )
+        for iv, (alo, ahi) in zip(intervals, algebraic):
+            if iv[0] is _INF or alo > iv[0]:
+                iv[0] = alo
+            if iv[1] is _INF or ahi < iv[1]:
+                iv[1] = ahi
+            if iv[0] > iv[1]:
+                return
+        if not _tighten(intervals, rows):
+            return
 
     def recurse(assign: list[int | None], intervals: list[list]) -> Iterator[list[int]]:
         # Pick the unassigned variable with the narrowest range.

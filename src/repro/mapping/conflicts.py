@@ -93,17 +93,29 @@ def _lattice_directions(
         return []
     bounds = index_set.bounds(binding)
     diff_box = tuple((lo - hi, hi - lo) for lo, hi in bounds)
+
+    def compute() -> list[tuple]:
+        try:
+            return _enumerate_directions(nullspace, diff_box, t.n, limit)
+        except UnboundedLatticeError:
+            # Defensive: the difference box is bounded and the nullspace
+            # basis is linearly independent, so the coefficient polytope is
+            # bounded and enumeration should always succeed.  Should the
+            # bounding machinery still give up, fall back to exact pair
+            # enumeration rather than guessing (returning unverified basis
+            # vectors here once caused false conflict reports on clean
+            # mappings).
+            return enumerate_conflict_pairs(t, index_set, binding, limit=limit)
+
     if cache is None:
-        return _enumerate_directions(nullspace, diff_box, t.n, limit)
+        return compute()
     key = (
         "lattice",
         tuple(tuple(int(x) for x in vec) for vec in nullspace),
         diff_box,
         limit,
     )
-    return cache.get_or_compute(
-        key, lambda: _enumerate_directions(nullspace, diff_box, t.n, limit)
-    )
+    return cache.get_or_compute(key, compute)
 
 
 def _enumerate_directions(
@@ -113,16 +125,11 @@ def _enumerate_directions(
     limit: int | None,
 ) -> list[tuple[int, ...]]:
     out: list[tuple[int, ...]] = []
-    try:
-        for vec in bounded_lattice_points([0] * n, nullspace, list(diff_box)):
-            if any(vec):
-                out.append(tuple(vec))
-                if limit is not None and len(out) >= limit:
-                    break
-    except UnboundedLatticeError:
-        # A nullspace direction unconstrained by the box: infinitely many
-        # conflicts; report the raw basis vectors.
-        return [tuple(v) for v in nullspace]
+    for vec in bounded_lattice_points([0] * n, nullspace, list(diff_box)):
+        if any(vec):
+            out.append(tuple(vec))
+            if limit is not None and len(out) >= limit:
+                break
     return out
 
 

@@ -1,0 +1,55 @@
+"""Differential verification: randomized oracles for the paper's claims.
+
+The subsystem cross-checks the repository's three load-bearing components
+against independent implementations on randomized inputs:
+
+* :mod:`repro.verify.oracle_theorem31` -- the O(1) compositional bit-level
+  dependence structure (Theorem 3.1) vs. brute-force dependence analysis
+  of the expanded program;
+* :mod:`repro.verify.oracle_mapping` -- Definition 4.1 feasibility verdicts
+  vs. exhaustive per-condition rechecking on the concrete index set;
+* :mod:`repro.verify.oracle_simulator` -- bit-level machine executions vs.
+  word-level reference products (signed and Baugh-Wooley paths included).
+
+Entry points: ``python -m repro verify`` on the command line,
+:func:`run_verification` / :func:`run_mutation_check` programmatically.
+See ``docs/VERIFY.md``.
+"""
+
+from repro.verify.generator import (
+    HAVE_HYPOTHESIS,
+    MappingCase,
+    SimulatorCase,
+    SizeEnvelope,
+    Theorem31Case,
+    gen_mapping_case,
+    gen_simulator_case,
+    gen_theorem31_case,
+)
+from repro.verify.report import Counterexample, OracleOutcome, VerifyReport
+from repro.verify.runner import (
+    ORACLES,
+    VerifyConfig,
+    run_mutation_check,
+    run_verification,
+)
+from repro.verify.shrink import shrink
+
+__all__ = [
+    "HAVE_HYPOTHESIS",
+    "SizeEnvelope",
+    "Theorem31Case",
+    "MappingCase",
+    "SimulatorCase",
+    "gen_theorem31_case",
+    "gen_mapping_case",
+    "gen_simulator_case",
+    "Counterexample",
+    "OracleOutcome",
+    "VerifyReport",
+    "ORACLES",
+    "VerifyConfig",
+    "run_verification",
+    "run_mutation_check",
+    "shrink",
+]

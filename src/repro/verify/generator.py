@@ -1,0 +1,526 @@
+"""Randomized case generation for the differential verification subsystem.
+
+Every oracle in :mod:`repro.verify` consumes *cases*: small, frozen,
+JSON-serializable descriptions of one concrete instance to cross-check.
+This module owns
+
+* :class:`SizeEnvelope` -- the configurable size limits within which cases
+  are drawn (word dimensions, index-set extents, word lengths, mapping
+  entry bounds);
+* the case dataclasses (:class:`Theorem31Case`, :class:`MappingCase`,
+  :class:`SimulatorCase`), each carrying its own ``shrink_candidates``
+  generator so :mod:`repro.verify.shrink` can minimize counterexamples
+  without knowing their shape;
+* seeded pure-``random`` generators (``gen_*``) used by the CLI runner --
+  fully deterministic for a given ``random.Random``;
+* Hypothesis strategies mirroring the same envelopes, exported for the
+  property-based test suites.  Hypothesis is optional: when it is not
+  importable, :data:`HAVE_HYPOTHESIS` is ``False``, the strategy helpers
+  raise, and the pure-random generators (which never touch Hypothesis)
+  keep working.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+from typing import Iterator, Sequence
+
+try:  # pragma: no cover - exercised implicitly by the test suites
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    st = None  # type: ignore[assignment]
+    HAVE_HYPOTHESIS = False
+
+__all__ = [
+    "HAVE_HYPOTHESIS",
+    "SizeEnvelope",
+    "Theorem31Case",
+    "MappingCase",
+    "SimulatorCase",
+    "lex_positive",
+    "random_word_vector",
+    "gen_theorem31_case",
+    "gen_mapping_case",
+    "gen_simulator_case",
+    "word_vector_strategy",
+    "theorem31_case_strategy",
+    "int_vector_strategy",
+    "int_matrix_strategy",
+]
+
+
+@dataclass(frozen=True)
+class SizeEnvelope:
+    """Size limits for generated cases.
+
+    The defaults keep every oracle check well under a tenth of a second so
+    that ``verify --cases 50`` finishes in seconds; fuzz jobs may enlarge
+    them (`max_extent`, `max_p`) for deeper sweeps.
+    """
+
+    #: word-level dimensions to draw from (Theorem 3.1 cases)
+    word_dims: tuple[int, ...] = (1, 2)
+    #: largest per-axis upper bound of a word-level index set
+    max_extent: int = 4
+    #: largest |entry| of a word-level dependence vector
+    max_step: int = 2
+    #: word-length range (inclusive)
+    min_p: int = 2
+    max_p: int = 3
+    #: largest matrix dimension for simulator cases
+    max_u: int = 3
+    #: largest |entry| of a randomly drawn mapping-matrix row
+    mapping_entry_bound: int = 2
+
+
+# ---------------------------------------------------------------------------
+# Shared primitives
+# ---------------------------------------------------------------------------
+
+def lex_positive(vec: Sequence[int]) -> bool:
+    """True when the first nonzero entry of ``vec`` is positive."""
+    for x in vec:
+        if x > 0:
+            return True
+        if x < 0:
+            return False
+    return False
+
+
+def random_word_vector(
+    rng: random.Random, dim: int, max_step: int
+) -> tuple[int, ...]:
+    """A lexicographically positive integer vector, by construction.
+
+    The leading prefix is zero, the pivot entry is drawn from
+    ``1..max_step``, and trailing entries range over ``-max_step..max_step``
+    -- exactly the shape of a model-(3.5) pipelining vector.
+    """
+    pivot = rng.randrange(dim)
+    vec = [0] * dim
+    vec[pivot] = rng.randint(1, max_step)
+    for k in range(pivot + 1, dim):
+        vec[k] = rng.randint(-max_step, max_step)
+    return tuple(vec)
+
+
+def _shrink_int(value: int, floor: int) -> Iterator[int]:
+    """Candidate reductions of ``value`` toward ``floor`` (halving, then -1)."""
+    if value <= floor:
+        return
+    half = floor + (value - floor) // 2
+    if half != value:
+        yield half
+    if value - 1 != half:
+        yield value - 1
+
+
+def _shrink_vector(
+    vec: tuple[int, ...], keep: "callable[[tuple[int, ...]], bool]"
+) -> Iterator[tuple[int, ...]]:
+    """Move entries toward zero, one at a time, preserving ``keep``."""
+    for i, x in enumerate(vec):
+        if x == 0:
+            continue
+        candidate = list(vec)
+        candidate[i] = x - 1 if x > 0 else x + 1
+        out = tuple(candidate)
+        if keep(out):
+            yield out
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1 cases
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Theorem31Case:
+    """One concrete model-(3.5) instance for the Theorem 3.1 oracle."""
+
+    h1: tuple[int, ...]
+    h2: tuple[int, ...]
+    h3: tuple[int, ...]
+    lowers: tuple[int, ...]
+    uppers: tuple[int, ...]
+    p: int
+    expansion: str
+    #: analyzer backend run on the expanded program
+    method: str = "enumerate"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def shrink_candidates(self) -> Iterator["Theorem31Case"]:
+        for axis, hi in enumerate(self.uppers):
+            for smaller in _shrink_int(hi, self.lowers[axis]):
+                uppers = list(self.uppers)
+                uppers[axis] = smaller
+                yield replace(self, uppers=tuple(uppers))
+        for smaller in _shrink_int(self.p, 2):
+            yield replace(self, p=smaller)
+        for name in ("h1", "h2", "h3"):
+            for vec in _shrink_vector(getattr(self, name), lex_positive):
+                yield replace(self, **{name: vec})
+        if self.method == "exact":
+            yield replace(self, method="enumerate")
+
+
+def gen_theorem31_case(
+    rng: random.Random, env: SizeEnvelope = SizeEnvelope()
+) -> Theorem31Case:
+    """Draw a random Theorem 3.1 case inside the envelope."""
+    dim = rng.choice(env.word_dims)
+    uppers = tuple(rng.randint(2, env.max_extent) for _ in range(dim))
+    # The exact (Diophantine) analyzer is exponential; run it on a sample of
+    # the smallest cases so both backends stay cross-checked.
+    method = "exact" if dim == 1 and rng.random() < 0.25 else "enumerate"
+    return Theorem31Case(
+        h1=random_word_vector(rng, dim, env.max_step),
+        h2=random_word_vector(rng, dim, env.max_step),
+        h3=random_word_vector(rng, dim, env.max_step),
+        lowers=(1,) * dim,
+        uppers=uppers,
+        p=rng.randint(env.min_p, env.max_p),
+        expansion=rng.choice(("I", "II")),
+        method=method,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mapping cases
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MappingCase:
+    """One (algorithm instance, mapping, primitives) triple for the
+    feasibility oracle.
+
+    ``kind`` selects how the algorithm is rebuilt:
+
+    * ``"word"`` -- :func:`repro.ir.builders.word_model_structure` from the
+      stored ``h``-vectors and concrete bounds (box index set);
+    * ``"lu"`` -- :func:`repro.ir.builders.lu_word_structure` with ``n``
+      (an affine-constrained triangular index set);
+    * ``"bitlevel"`` -- :func:`repro.expansion.theorem31.matmul_bit_level`
+      with ``(u, p)`` (the paper's 5-D structure).
+    """
+
+    kind: str
+    rows: tuple[tuple[int, ...], ...]
+    #: "none" | "mesh" | "fig4" | "fig5"
+    primitives: str
+    h1: tuple[int, ...] = ()
+    h2: tuple[int, ...] = ()
+    h3: tuple[int, ...] = ()
+    lowers: tuple[int, ...] = ()
+    uppers: tuple[int, ...] = ()
+    n: int = 0
+    u: int = 0
+    p: int = 0
+    expansion: str = "II"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def build(self):
+        """Rebuild ``(algorithm, binding, mapping, primitives)`` objects."""
+        from repro.expansion.theorem31 import matmul_bit_level
+        from repro.ir.builders import lu_word_structure, word_model_structure
+        from repro.mapping import designs
+        from repro.mapping.interconnect import mesh_primitives
+        from repro.mapping.transform import MappingMatrix
+
+        if self.kind == "word":
+            alg = word_model_structure(
+                self.h1, self.h2, self.h3, self.lowers, self.uppers
+            )
+            binding: dict[str, int] = {}
+        elif self.kind == "lu":
+            alg = lu_word_structure(self.n)
+            binding = {"n": self.n}
+        elif self.kind == "bitlevel":
+            alg = matmul_bit_level(self.u, self.p, self.expansion)
+            binding = {"u": self.u, "p": self.p}
+        else:
+            raise ValueError(f"unknown mapping-case kind {self.kind!r}")
+        t = MappingMatrix([list(r) for r in self.rows], name="T-verify")
+        prims = {
+            "none": lambda: None,
+            "mesh": lambda: mesh_primitives(max(1, len(self.rows) - 1)),
+            "fig4": lambda: designs.fig4_primitives(self.p or 2),
+            "fig5": lambda: designs.fig5_primitives(),
+        }[self.primitives]()
+        return alg, binding, t, prims
+
+    def shrink_candidates(self) -> Iterator["MappingCase"]:
+        # Shrink the instance first (cheapest wins for reproduction)...
+        if self.kind == "word":
+            for axis, hi in enumerate(self.uppers):
+                for smaller in _shrink_int(hi, self.lowers[axis]):
+                    uppers = list(self.uppers)
+                    uppers[axis] = smaller
+                    yield replace(self, uppers=tuple(uppers))
+            for name in ("h1", "h2", "h3"):
+                for vec in _shrink_vector(getattr(self, name), lex_positive):
+                    yield replace(self, **{name: vec})
+        elif self.kind == "lu":
+            for smaller in _shrink_int(self.n, 2):
+                yield replace(self, n=smaller)
+        elif self.kind == "bitlevel":
+            for smaller in _shrink_int(self.u, 2):
+                yield replace(self, u=smaller)
+            for smaller in _shrink_int(self.p, 2):
+                yield replace(self, p=smaller)
+        # ... then the mapping entries toward zero.
+        for i, row in enumerate(self.rows):
+            for vec in _shrink_vector(row, lambda _: True):
+                rows = list(self.rows)
+                rows[i] = vec
+                yield replace(self, rows=tuple(rows))
+        if self.primitives != "none":
+            yield replace(self, primitives="none")
+
+
+def _random_rows(
+    rng: random.Random, k: int, n: int, bound: int
+) -> tuple[tuple[int, ...], ...]:
+    return tuple(
+        tuple(rng.randint(-bound, bound) for _ in range(n)) for _ in range(k)
+    )
+
+
+def _biased_rows(
+    rng: random.Random, k: int, n: int
+) -> tuple[tuple[int, ...], ...]:
+    """Catalog space rows plus a lexicographically positive schedule: close
+    to the shapes the search engine accepts, so the oracle regularly sees
+    *feasible* designs (not only rejections)."""
+    from repro.mapping.engine import space_map_catalog
+
+    catalog = space_map_catalog(n)
+    space = [catalog[rng.randrange(len(catalog))] for _ in range(k - 1)]
+    schedule = tuple(rng.randint(0, 2) for _ in range(n))
+    if not any(schedule):
+        schedule = (1,) * n
+    return tuple(space) + (schedule,)
+
+
+def gen_mapping_case(
+    rng: random.Random, env: SizeEnvelope = SizeEnvelope()
+) -> MappingCase:
+    """Draw a random mapping case: algorithm instance, mapping, primitives."""
+    kind = rng.choice(("word", "word", "lu", "bitlevel"))
+    if kind == "word":
+        dim = rng.choice((2, 3))
+        case = MappingCase(
+            kind="word",
+            h1=random_word_vector(rng, dim, 1),
+            h2=random_word_vector(rng, dim, 1),
+            h3=random_word_vector(rng, dim, 1),
+            lowers=(1,) * dim,
+            uppers=tuple(rng.randint(2, 3) for _ in range(dim)),
+            rows=(),
+            primitives="none",
+        )
+        n = dim
+    elif kind == "lu":
+        case = MappingCase(kind="lu", n=rng.randint(2, 3), rows=(), primitives="none")
+        n = 3
+    else:
+        case = MappingCase(kind="bitlevel", u=2, p=2, rows=(), primitives="none")
+        n = 5
+        if rng.random() < 0.4:
+            # The paper's own designs (and their primitive sets) must always
+            # re-validate: feed them through the oracle verbatim.
+            from repro.mapping import designs
+
+            design, prims = rng.choice(
+                ((designs.fig4_mapping(2), "fig4"), (designs.fig5_mapping(2), "fig5"))
+            )
+            return replace(case, rows=design.rows, primitives=prims)
+    k = rng.randint(2, min(3, n))
+    if rng.random() < 0.5:
+        rows = _biased_rows(rng, k, n)
+    else:
+        rows = _random_rows(rng, k, n, env.mapping_entry_bound)
+    primitives = rng.choice(("none", "mesh", "mesh"))
+    return replace(case, rows=rows, primitives=primitives)
+
+
+# ---------------------------------------------------------------------------
+# Simulator cases
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimulatorCase:
+    """One end-to-end machine execution to check against the word-level
+    reference.
+
+    ``mode`` selects the path:
+
+    * ``"unsigned"`` -- :class:`~repro.machine.bitlevel.BitLevelMatmulMachine`
+      on a paper design, product compared mod ``2^{2p-1}``;
+    * ``"signed"`` -- the coefficient-split driver
+      :func:`repro.machine.signed.signed_matmul` over the same machine;
+    * ``"word"`` -- :class:`~repro.machine.wordlevel.WordLevelMatmulMachine`
+      (sequential arithmetic inside each PE), exact product;
+    * ``"baughwooley"`` -- the signed
+      :class:`~repro.arith.baughwooley.BaughWooleyMultiplier` on the scalar
+      operand pair ``(a, b)``.
+    """
+
+    mode: str
+    u: int
+    p: int
+    design: str = "fig4"
+    expansion: str = "II"
+    arithmetic: str = "add-shift"
+    x: tuple[tuple[int, ...], ...] = ()
+    y: tuple[tuple[int, ...], ...] = ()
+    a: int = 0
+    b: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def shrink_candidates(self) -> Iterator["SimulatorCase"]:
+        def shrink_matrix(name: str) -> Iterator["SimulatorCase"]:
+            matrix = getattr(self, name)
+            for i, row in enumerate(matrix):
+                for j, v in enumerate(row):
+                    if v == 0:
+                        continue
+                    rows = [list(r) for r in matrix]
+                    rows[i][j] = v - 1 if v > 0 else v + 1
+                    yield replace(
+                        self, **{name: tuple(tuple(r) for r in rows)}
+                    )
+
+        yield from shrink_matrix("x")
+        yield from shrink_matrix("y")
+        for smaller in _shrink_int(abs(self.a), 0):
+            yield replace(self, a=smaller if self.a >= 0 else -smaller)
+        for smaller in _shrink_int(abs(self.b), 0):
+            yield replace(self, b=smaller if self.b >= 0 else -smaller)
+
+
+def _random_matrix(
+    rng: random.Random, u: int, lo: int, hi: int
+) -> tuple[tuple[int, ...], ...]:
+    return tuple(
+        tuple(rng.randint(lo, hi) for _ in range(u)) for _ in range(u)
+    )
+
+
+def gen_simulator_case(
+    rng: random.Random, env: SizeEnvelope = SizeEnvelope()
+) -> SimulatorCase:
+    """Draw a random simulator case inside the envelope."""
+    mode = rng.choice(("unsigned", "unsigned", "signed", "word", "baughwooley"))
+    u = rng.randint(2, env.max_u)
+    p = rng.randint(env.min_p, env.max_p)
+    if mode == "baughwooley":
+        half = 1 << (p - 1)
+        return SimulatorCase(
+            mode=mode, u=u, p=p,
+            a=rng.randint(-half, half - 1), b=rng.randint(-half, half - 1),
+        )
+    design = rng.choice(("fig4", "fig5"))
+    expansion = rng.choice(("I", "II"))
+    if mode == "signed":
+        # Keep the true values inside the recentring range [-2^{2p-2},
+        # 2^{2p-2}) of the mod-2^{2p-1} machine: u * xmax * ymax must stay
+        # below 2^{2p-2}.
+        budget = (1 << (2 * p - 2)) - 1
+        ymax = max(1, int((budget // u) ** 0.5))
+        xmax = max(1, budget // (u * ymax))
+        x = _random_matrix(rng, u, -xmax, xmax)
+        y = _random_matrix(rng, u, 0, ymax)
+    else:
+        top = (1 << p) - 1
+        x = _random_matrix(rng, u, 0, top)
+        y = _random_matrix(rng, u, 0, top)
+    return SimulatorCase(
+        mode=mode, u=u, p=p, design=design, expansion=expansion,
+        arithmetic=rng.choice(("add-shift", "carry-save")),
+        x=x, y=y,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies (optional)
+# ---------------------------------------------------------------------------
+
+def _require_hypothesis() -> None:
+    if not HAVE_HYPOTHESIS:  # pragma: no cover
+        raise RuntimeError(
+            "hypothesis is not installed; use the gen_* pure-random "
+            "generators instead"
+        )
+
+
+def word_vector_strategy(dim: int, max_step: int = 2):
+    """Lexicographically positive ``dim``-vectors, by construction (no
+    filtering): a zero prefix, a positive pivot, free trailing entries."""
+    _require_hypothesis()
+
+    def build(pivot: int):
+        return st.tuples(
+            *(
+                [st.just(0)] * pivot
+                + [st.integers(1, max_step)]
+                + [st.integers(-max_step, max_step)] * (dim - pivot - 1)
+            )
+        )
+
+    return st.integers(0, dim - 1).flatmap(build)
+
+
+def theorem31_case_strategy(env: SizeEnvelope = SizeEnvelope()):
+    """Whole :class:`Theorem31Case` draws for property-based suites."""
+    _require_hypothesis()
+
+    def build(dim: int):
+        vec = word_vector_strategy(dim, env.max_step)
+        return st.builds(
+            Theorem31Case,
+            h1=vec,
+            h2=vec,
+            h3=vec,
+            lowers=st.just((1,) * dim),
+            uppers=st.tuples(*([st.integers(2, env.max_extent)] * dim)),
+            p=st.integers(env.min_p, env.max_p),
+            expansion=st.sampled_from(("I", "II")),
+            method=st.just("enumerate"),
+        )
+
+    return st.sampled_from(env.word_dims).flatmap(build)
+
+
+def int_vector_strategy(max_len: int = 4, bound: int = 6):
+    """Short integer vectors for :mod:`repro.util` property tests."""
+    _require_hypothesis()
+    return st.lists(
+        st.integers(-bound, bound), min_size=1, max_size=max_len
+    )
+
+
+def int_matrix_strategy(max_dim: int = 4, bound: int = 6):
+    """Small non-ragged integer matrices for :mod:`repro.util.linalg`
+    property tests."""
+    _require_hypothesis()
+
+    def build(shape: tuple[int, int]):
+        rows, cols = shape
+        return st.lists(
+            st.lists(st.integers(-bound, bound), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+
+    return st.tuples(
+        st.integers(1, max_dim), st.integers(1, max_dim)
+    ).flatmap(build)

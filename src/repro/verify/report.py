@@ -1,0 +1,107 @@
+"""Structured results of a verification run.
+
+The runner produces a :class:`VerifyReport`: one :class:`OracleOutcome`
+per oracle plus a list of shrunken :class:`Counterexample` records.  The
+report serializes to JSON (``to_json``/``write``) so CI can upload it as
+an artifact, and renders a human summary (``summary``) for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Counterexample", "OracleOutcome", "VerifyReport"]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One oracle failure, after greedy shrinking."""
+
+    oracle: str
+    #: oracle-specific description of the disagreement
+    detail: str
+    #: the shrunken case, as a JSON-ready dict
+    case: Mapping
+    #: the originally drawn case that first exposed the failure
+    original: Mapping
+    shrink_steps: int
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "case": dict(self.case),
+            "original": dict(self.original),
+            "shrink_steps": self.shrink_steps,
+        }
+
+
+@dataclass
+class OracleOutcome:
+    """Aggregate statistics for one oracle's budgeted loop."""
+
+    oracle: str
+    cases_run: int = 0
+    passed: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "cases_run": self.cases_run,
+            "passed": self.passed,
+            "failed": self.failed,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "budget_exhausted": self.budget_exhausted,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Everything one ``repro verify`` invocation learned."""
+
+    seed: int
+    outcomes: list[OracleOutcome] = field(default_factory=list)
+    counterexamples: list[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "counterexamples": [c.to_dict() for c in self.counterexamples],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        lines = []
+        for o in self.outcomes:
+            status = "ok" if o.failed == 0 else f"FAIL ({o.failed})"
+            note = ", budget exhausted" if o.budget_exhausted else ""
+            lines.append(
+                f"oracle_{o.oracle}: {status} -- {o.cases_run} cases, "
+                f"{o.passed} passed in {o.elapsed_s:.2f}s{note}"
+            )
+        for c in self.counterexamples:
+            lines.append(
+                f"counterexample [{c.oracle}] after {c.shrink_steps} "
+                f"shrink steps: {c.detail}"
+            )
+            lines.append(f"  case: {json.dumps(dict(c.case), sort_keys=True)}")
+        verdict = "all oracles agree" if self.ok else "DISAGREEMENT FOUND"
+        lines.append(f"verify: {verdict} (seed {self.seed})")
+        return "\n".join(lines)

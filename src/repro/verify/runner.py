@@ -1,0 +1,191 @@
+"""The budgeted oracle loop and the self-test mutation check.
+
+:func:`run_verification` drives the three oracles over seeded random
+cases, shrinks any failure greedily, and returns a
+:class:`~repro.verify.report.VerifyReport`.  When an ambient
+:mod:`repro.obs` registry is installed, each oracle runs inside a
+``verify.<name>`` span and emits ``verify.<name>.cases`` /
+``.failures`` / ``.shrink_steps`` counters.
+
+:func:`run_mutation_check` answers "would this subsystem actually catch a
+bug?": it monkeypatches a deliberately wrong validity condition into the
+Theorem 3.1 assembly (the carry-completion column ``c'`` declared valid
+everywhere) and demands that ``oracle_theorem31`` produce a shrunken
+counterexample against the mutant.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.verify import oracle_mapping, oracle_simulator, oracle_theorem31
+from repro.verify.generator import SizeEnvelope
+from repro.verify.report import Counterexample, OracleOutcome, VerifyReport
+from repro.verify.shrink import shrink
+
+__all__ = [
+    "ORACLES",
+    "VerifyConfig",
+    "run_verification",
+    "run_mutation_check",
+]
+
+#: name -> oracle module (each exports NAME, generate, check)
+ORACLES = {
+    module.NAME: module
+    for module in (oracle_theorem31, oracle_mapping, oracle_simulator)
+}
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """One verification run's knobs."""
+
+    seed: int = 0
+    #: cases per oracle
+    cases: int = 50
+    #: wall-clock budget per oracle in seconds (None = unbounded)
+    budget_s: float | None = None
+    #: which oracles to run, in order
+    oracles: Sequence[str] = ("theorem31", "mapping", "simulator")
+    envelope: SizeEnvelope = field(default_factory=SizeEnvelope)
+    max_shrink_steps: int = 200
+    #: stop an oracle after this many counterexamples (they are near-certainly
+    #: the same root cause; keep reports small)
+    max_counterexamples: int = 3
+
+
+def _fails(check: Callable) -> Callable:
+    return lambda case: check(case) is not None
+
+
+def _run_oracle(
+    module, config: VerifyConfig, outcome: OracleOutcome
+) -> list[Counterexample]:
+    # String seeds hash deterministically through random.Random (CPython
+    # seeds str via a stable algorithm), so each oracle gets an independent
+    # but reproducible stream for any (seed, oracle) pair.
+    rng = random.Random(f"{config.seed}:{module.NAME}")
+    started = time.monotonic()
+    found: list[Counterexample] = []
+    for _ in range(config.cases):
+        if (
+            config.budget_s is not None
+            and time.monotonic() - started > config.budget_s
+        ):
+            outcome.budget_exhausted = True
+            break
+        case = module.generate(rng, config.envelope)
+        outcome.cases_run += 1
+        obs.count(f"verify.{module.NAME}.cases")
+        detail = module.check(case)
+        if detail is None:
+            outcome.passed += 1
+            continue
+        outcome.failed += 1
+        obs.count(f"verify.{module.NAME}.failures")
+        small, steps = shrink(
+            case, _fails(module.check), max_steps=config.max_shrink_steps
+        )
+        obs.count(f"verify.{module.NAME}.shrink_steps", steps)
+        found.append(
+            Counterexample(
+                oracle=module.NAME,
+                detail=module.check(small) or detail,
+                case=small.to_dict(),
+                original=case.to_dict(),
+                shrink_steps=steps,
+            )
+        )
+        if len(found) >= config.max_counterexamples:
+            break
+    outcome.elapsed_s = time.monotonic() - started
+    return found
+
+
+def run_verification(config: VerifyConfig = VerifyConfig()) -> VerifyReport:
+    """Run the configured oracles; return the full report."""
+    report = VerifyReport(seed=config.seed)
+    for name in config.oracles:
+        try:
+            module = ORACLES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown oracle {name!r}; choose from {sorted(ORACLES)}"
+            ) from None
+        outcome = OracleOutcome(oracle=name)
+        with obs.span(f"verify.{name}"):
+            report.counterexamples.extend(
+                _run_oracle(module, config, outcome)
+            )
+        report.outcomes.append(outcome)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Mutation check
+# ---------------------------------------------------------------------------
+
+def _mutant_bit_level_structure(real: Callable) -> Callable:
+    """Wrap the Theorem 3.1 assembly with a seeded bug: the carry-completion
+    column ``c'`` (``d̄₇``, validity ``i1 = p`` under Expansion II) is
+    declared valid *everywhere*.
+
+    This is the interesting mutation class: entry-column mutations
+    (``d̄₄``/``d̄₅``) are extensionally invisible because the spurious edges
+    they add have sources outside the index set, which
+    :func:`repro.expansion.verify.effective_edges` filters anyway.  The
+    ``c'`` source lands inside the set once ``p >= 3``, so the oracle must
+    find -- and the shrinker must retain -- a ``p = 3`` witness.
+    """
+    from repro.structures.algorithm import Algorithm
+    from repro.structures.conditions import TRUE
+
+    def mutant(word, arith, expansion, p):
+        alg = real(word, arith, expansion, p)
+        vectors = [
+            v.with_validity(TRUE) if "c'" in v.causes else v
+            for v in alg.dependences
+        ]
+        return Algorithm(
+            alg.index_set, vectors, alg.computations, name=alg.name + "-mutant"
+        )
+
+    return mutant
+
+
+def run_mutation_check(
+    seed: int = 0,
+    cases: int = 30,
+    envelope: SizeEnvelope = SizeEnvelope(),
+    max_shrink_steps: int = 200,
+) -> Counterexample | None:
+    """Self-test: inject a wrong validity condition into the Theorem 3.1
+    assembly and confirm ``oracle_theorem31`` catches it.
+
+    Returns the shrunken counterexample the oracle produced against the
+    mutant (the *expected* outcome), or ``None`` if the mutant survived --
+    which means the verification subsystem has lost its teeth.
+    """
+    import repro.expansion.verify as verify_mod
+
+    real = verify_mod.bit_level_structure
+    verify_mod.bit_level_structure = _mutant_bit_level_structure(real)
+    try:
+        config = VerifyConfig(
+            seed=seed,
+            cases=cases,
+            oracles=("theorem31",),
+            envelope=envelope,
+            max_shrink_steps=max_shrink_steps,
+            max_counterexamples=1,
+        )
+        report = run_verification(config)
+        obs.count("verify.mutation.caught", int(bool(report.counterexamples)))
+        return report.counterexamples[0] if report.counterexamples else None
+    finally:
+        verify_mod.bit_level_structure = real

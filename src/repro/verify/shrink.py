@@ -1,0 +1,52 @@
+"""Greedy counterexample shrinking.
+
+A case is shrinkable when it exposes ``shrink_candidates() -> Iterator``
+yielding strictly "smaller" variants of itself.  :func:`shrink` walks the
+candidates greedily: the first candidate that still fails becomes the new
+current case and the walk restarts from its candidates.  This is the same
+structure Hypothesis uses internally, specialized to our frozen case
+dataclasses so the pure-random runner gets shrinking without depending on
+Hypothesis at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+Case = TypeVar("Case")
+
+__all__ = ["shrink"]
+
+
+def shrink(
+    case: Case,
+    fails: Callable[[Case], bool],
+    max_steps: int = 200,
+) -> tuple[Case, int]:
+    """Minimize ``case`` while ``fails(case)`` stays true.
+
+    ``fails`` must return ``True`` for the input ``case`` (the caller has
+    already observed the failure); candidates for which ``fails`` raises
+    are treated as not failing and skipped, so shrinking never widens the
+    failure class.  Returns ``(smallest_failing_case, steps_taken)`` where
+    a step is one successful reduction.
+    """
+    steps = 0
+    budget = max_steps
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate in case.shrink_candidates():  # type: ignore[attr-defined]
+            if budget <= 0:
+                break
+            budget -= 1
+            try:
+                still_fails = fails(candidate)
+            except Exception:
+                still_fails = False
+            if still_fails:
+                case = candidate
+                steps += 1
+                improved = True
+                break
+    return case, steps

@@ -1,0 +1,94 @@
+"""Regression + cross-check tests: lattice conflict mode vs. pair enumeration.
+
+The verification oracles surfaced a real bug here: interval constraint
+propagation in :func:`repro.depanalysis.diophantine.bounded_lattice_points`
+stalls whenever every box row couples two or more still-unbounded lattice
+coordinates (it can only tighten a variable once the others are bounded).
+The old code then raised ``UnboundedLatticeError`` and ``find_conflicts``
+"recovered" by returning the raw nullspace basis -- reporting conflicts
+for mappings that are actually injective on the index set.  The fix
+computes explicit algebraic bounds from an invertible row submatrix, which
+always exist because a linearly independent basis confined to a bounded
+box yields a bounded coefficient polytope.
+"""
+
+import random
+
+from repro.depanalysis.diophantine import bounded_lattice_points
+from repro.expansion.theorem31 import matmul_bit_level
+from repro.ir.builders import lu_word_structure
+from repro.mapping.conflicts import enumerate_conflict_pairs, find_conflicts
+from repro.mapping.transform import MappingMatrix
+
+# The shrunken counterexample the mapping oracle produced (seed 6): a rank-3
+# mapping of the u=2, p=2 bit-level matmul lattice whose nullspace basis is
+# too skewed for interval propagation to bound.
+REGRESSION_ROWS = [[-2, 1, 2, 0, 2], [-2, 0, 1, 1, 0], [-1, 1, -2, 1, -2]]
+
+
+def test_regression_skewed_nullspace_is_conflict_free():
+    alg = matmul_bit_level(2, 2, "II")
+    binding = {"u": 2, "p": 2}
+    t = MappingMatrix(REGRESSION_ROWS)
+    directions = find_conflicts(t, alg.index_set, binding)
+    pairs = enumerate_conflict_pairs(t, alg.index_set, binding, limit=None)
+    assert pairs == [], "ground truth: no two points share (processor, time)"
+    assert directions == [], (
+        "lattice mode must agree with exhaustive pair enumeration"
+    )
+
+
+def test_regression_lattice_enumeration_does_not_raise():
+    # The raw sub-problem behind the regression: both propagation rows
+    # couple both lattice coordinates, so _tighten alone bounds nothing.
+    basis = [[-4, -10, -16, 8, 17], [-3, -8, -13, 7, 14]]
+    box = [(-1, 1)] * 5
+    points = list(bounded_lattice_points([0] * 5, basis, box))
+    assert points == [[0, 0, 0, 0, 0]]
+
+
+def test_algebraic_bounds_still_enumerate_nonzero_hits():
+    # A coupled basis whose small combinations do fit the box: t0*[1,2] +
+    # t1*[2,1] stays within [-3,3]^2 for nine (t0, t1) pairs around zero.
+    basis = [[1, 2], [2, 1]]
+    box = [(-3, 3), (-3, 3)]
+    points = sorted(tuple(p) for p in bounded_lattice_points([0, 0], basis, box))
+    expected = sorted(
+        (a * basis[0][0] + b * basis[1][0], a * basis[0][1] + b * basis[1][1])
+        for a in range(-4, 5)
+        for b in range(-4, 5)
+        if all(
+            -3 <= a * basis[0][i] + b * basis[1][i] <= 3 for i in range(2)
+        )
+    )
+    assert points == expected
+    assert len(points) > 1
+
+
+def test_random_box_mappings_agree_with_pair_enumeration():
+    rng = random.Random(0xC0FFEE)
+    alg = matmul_bit_level(2, 2, "II")
+    binding = {"u": 2, "p": 2}
+    for _ in range(60):
+        k = rng.randint(2, 3)
+        rows = [
+            [rng.randint(-2, 2) for _ in range(5)] for _ in range(k)
+        ]
+        t = MappingMatrix(rows)
+        lattice_says = bool(find_conflicts(t, alg.index_set, binding, limit=1))
+        pairs_say = bool(
+            enumerate_conflict_pairs(t, alg.index_set, binding, limit=1)
+        )
+        assert lattice_says == pairs_say, (rows, lattice_says, pairs_say)
+
+
+def test_constrained_sets_use_exact_pairs():
+    # LU's triangular index set is affine-constrained: find_conflicts must
+    # dispatch to pair enumeration and agree with it trivially.
+    alg = lu_word_structure(3)
+    binding = {"n": 3}
+    assert getattr(alg.index_set, "is_constrained", False)
+    t = MappingMatrix([[1, 0, 0], [1, 1, 1]])
+    got = find_conflicts(t, alg.index_set, binding, limit=3)
+    want = enumerate_conflict_pairs(t, alg.index_set, binding, limit=3)
+    assert got == want

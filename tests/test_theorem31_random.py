@@ -2,19 +2,23 @@
 
 Random lexicographically-positive word-level models at tiny sizes; the
 compositional structure must match general dependence analysis of the
-expanded program for every draw.
+expanded program for every draw.  The sampling strategies are the shared
+ones from :mod:`repro.verify.generator` (lex-positive by construction, no
+filtering), so this suite and the ``repro verify`` oracle runner exercise
+the same case distribution.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.expansion.verify import verify_theorem31
-
-# Lexicographically positive vectors by construction (no filtering).
-vec_1d = st.tuples(st.integers(1, 2))
-vec_2d = st.one_of(
-    st.tuples(st.integers(1, 2), st.integers(-1, 2)),
-    st.tuples(st.just(0), st.integers(1, 2)),
+from repro.verify.generator import (
+    SizeEnvelope,
+    theorem31_case_strategy,
+    word_vector_strategy,
 )
+
+vec_1d = word_vector_strategy(1, max_step=2)
+vec_2d = word_vector_strategy(2, max_step=2)
 
 
 @given(
@@ -38,5 +42,15 @@ def test_random_1d_models(h1, h2, h3, u, expansion):
 def test_random_2d_models(h1, h2, h3, expansion):
     rep = verify_theorem31(
         list(h1), list(h2), list(h3), [1, 1], [3, 3], 2, expansion
+    )
+    assert rep.matches, rep.summary()
+
+
+@given(theorem31_case_strategy(SizeEnvelope(max_extent=3)))
+@settings(max_examples=15, deadline=None)
+def test_random_whole_cases(case):
+    rep = verify_theorem31(
+        case.h1, case.h2, case.h3, case.lowers, case.uppers,
+        case.p, case.expansion, method=case.method,
     )
     assert rep.matches, rep.summary()

@@ -1,0 +1,180 @@
+"""Property-based tests for :mod:`repro.util.intmath` and
+:mod:`repro.util.linalg`.
+
+These modules underpin every exactness claim in the repository (the GCD
+dependence test, lattice enumeration, rank/coprimality feasibility
+conditions), so they are tested against their algebraic contracts on
+random inputs drawn from the shared :mod:`repro.verify.generator`
+strategies: Bézout identities, divisibility laws, and full round-trips of
+the Hermite/Smith transform matrices and integer system solutions.
+"""
+
+from math import gcd
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    egcd,
+    floor_div,
+    gcd_list,
+    lcm_list,
+    solve_linear_diophantine_eq,
+)
+from repro.util.linalg import (
+    hermite_normal_form,
+    integer_nullspace,
+    integer_rank,
+    is_unimodular,
+    mat_mul,
+    mat_vec,
+    smith_normal_form,
+    solve_integer_system,
+)
+from repro.verify.generator import int_matrix_strategy, int_vector_strategy
+
+ints = st.integers(-50, 50)
+
+
+# ---------------------------------------------------------------------------
+# intmath
+# ---------------------------------------------------------------------------
+
+@given(ints, ints)
+def test_egcd_bezout_identity(a, b):
+    g, x, y = egcd(a, b)
+    assert g == gcd(a, b)
+    assert a * x + b * y == g
+
+
+@given(int_vector_strategy())
+def test_gcd_list_divides_every_entry(vec):
+    g = gcd_list(vec)
+    assert g >= 0
+    if any(vec):
+        assert g > 0
+        assert all(v % g == 0 for v in vec)
+    else:
+        assert g == 0
+
+
+@given(int_vector_strategy(bound=4))
+def test_lcm_list_is_a_common_multiple(vec):
+    nonzero = [v for v in vec if v]
+    if not nonzero:
+        assert lcm_list(vec) == 0
+        return
+    m = lcm_list(nonzero)
+    assert m > 0
+    assert all(m % v == 0 for v in nonzero)
+    # Minimality: no proper divisor of m is a common multiple.
+    assert all(
+        any(d % v != 0 for v in nonzero)
+        for d in range(1, m)
+        if m % d == 0
+    )
+
+
+@given(ints, st.integers(-8, 8).filter(bool))
+def test_floor_ceil_div_bracket_the_quotient(a, b):
+    lo, hi = floor_div(a, b), ceil_div(a, b)
+    assert lo * b <= a if b > 0 else lo * b >= a
+    assert lo <= a / b <= hi
+    assert hi - lo in (0, 1)
+
+
+@given(int_vector_strategy(), st.integers(-30, 30))
+def test_diophantine_solution_round_trip(coeffs, rhs):
+    solved = solve_linear_diophantine_eq(coeffs, rhs)
+    g = gcd_list(coeffs)
+    if solved is None:
+        # Exactly the GCD test: solvable iff gcd | rhs.
+        assert g == 0 and rhs != 0 or g != 0 and rhs % g != 0
+        return
+    particular, basis = solved
+    assert sum(c * x for c, x in zip(coeffs, particular)) == rhs
+    for vec in basis:
+        assert sum(c * x for c, x in zip(coeffs, vec)) == 0
+    # Shifting the particular by any basis vector stays a solution.
+    shifted = [x + v for x, v in zip(particular, basis[0])] if basis else particular
+    assert sum(c * x for c, x in zip(coeffs, shifted)) == rhs
+
+
+# ---------------------------------------------------------------------------
+# linalg
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None)
+@given(int_matrix_strategy())
+def test_hermite_round_trip(a):
+    h, u = hermite_normal_form(a)
+    assert is_unimodular(u)
+    assert mat_mul(u, a) == h
+    # Echelon shape: pivot columns strictly increase; pivots positive.
+    last = -1
+    for row in h:
+        piv = next((j for j, x in enumerate(row) if x), None)
+        if piv is None:
+            continue
+        assert piv > last
+        assert row[piv] > 0
+        last = piv
+
+
+@settings(deadline=None)
+@given(int_matrix_strategy())
+def test_smith_round_trip_and_divisibility(a):
+    d, u, v = smith_normal_form(a)
+    assert is_unimodular(u) and is_unimodular(v)
+    assert mat_mul(mat_mul(u, a), v) == d
+    m, n = len(d), len(d[0])
+    diag = [d[i][i] for i in range(min(m, n))]
+    assert all(
+        d[i][j] == 0 for i in range(m) for j in range(n) if i != j
+    )
+    assert all(x >= 0 for x in diag)
+    for first, second in zip(diag, diag[1:]):
+        if first:
+            assert second % first == 0
+        else:
+            assert second == 0
+
+
+@settings(deadline=None)
+@given(int_matrix_strategy())
+def test_nullspace_vectors_annihilate(a):
+    basis = integer_nullspace(a)
+    n = len(a[0])
+    assert len(basis) == n - integer_rank(a)
+    for vec in basis:
+        assert mat_vec(a, vec) == [0] * len(a)
+        assert any(vec)
+
+
+@settings(deadline=None)
+@given(int_matrix_strategy(max_dim=3, bound=4), st.data())
+def test_solve_integer_system_round_trip(a, data):
+    b = data.draw(
+        st.lists(
+            st.integers(-20, 20), min_size=len(a), max_size=len(a)
+        )
+    )
+    solved = solve_integer_system(a, b)
+    if solved is None:
+        return
+    particular, basis = solved
+    assert mat_vec(a, particular) == b
+    for vec in basis:
+        assert mat_vec(a, vec) == [0] * len(a)
+
+
+@settings(deadline=None)
+@given(int_matrix_strategy(max_dim=3, bound=4))
+def test_solvable_when_rhs_in_image(a):
+    # Construct b = A x for a known x: a solution must then be found.
+    x = list(range(1, len(a[0]) + 1))
+    b = mat_vec(a, x)
+    solved = solve_integer_system(a, b)
+    assert solved is not None
+    particular, _ = solved
+    assert mat_vec(a, particular) == b
