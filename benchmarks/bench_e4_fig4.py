@@ -17,7 +17,13 @@ from repro.mapping.schedule import find_optimal_schedule
 @pytest.fixture(scope="module", autouse=True)
 def report(report_writer):
     yield
-    report_writer("E4-fig4-time-optimal-design", e4_fig4.report())
+    data = e4_fig4.run()
+    report_writer(
+        "E4-fig4-time-optimal-design",
+        e4_fig4.report(data),
+        # JSON-safe subset: drop the (object-heavy) per-case details.
+        {"rows": data["rows"], "ok": data["ok"], "backend": data["backend"]},
+    )
 
 
 U, P = 3, 3

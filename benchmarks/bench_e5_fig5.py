@@ -16,7 +16,8 @@ from repro.mapping import check_feasibility, designs
 @pytest.fixture(scope="module", autouse=True)
 def report(report_writer):
     yield
-    report_writer("E5-fig5-nearest-neighbour-design", e5_fig5.report())
+    data = e5_fig5.run()
+    report_writer("E5-fig5-nearest-neighbour-design", e5_fig5.report(data), data)
 
 
 U, P = 3, 3

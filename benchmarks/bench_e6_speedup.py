@@ -16,7 +16,8 @@ from repro.mapping import designs
 @pytest.fixture(scope="module", autouse=True)
 def report(report_writer):
     yield
-    report_writer("E6-speedup", e6_speedup.report())
+    data = e6_speedup.run()
+    report_writer("E6-speedup", e6_speedup.report(data), data)
 
 
 U, P = 3, 4

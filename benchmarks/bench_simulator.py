@@ -1,0 +1,246 @@
+"""Benchmark: pointwise vs wavefront simulation backends.
+
+Times the space-time executor's two engines on the same bit-level matmul
+instances and checks they agree exactly -- same product, same
+:class:`SimulationResult`, same ``machine.*`` metrics -- so the speedup is
+measured on provably identical work.
+
+Besides the pytest-benchmark kernels, this module doubles as a script:
+
+* ``python benchmarks/bench_simulator.py --smoke [--metrics-out F]`` runs
+  a small add-shift instance on both backends, asserts identical results
+  and a >= 3x wavefront speedup -- the CI guard.
+* ``python benchmarks/bench_simulator.py --record`` measures the p=8/u=8
+  add-shift instance on both backends (expecting >= 10x), runs p=16/u=16
+  on the wavefront engine, and updates ``BENCH_simulator.json`` at the
+  repo root (an existing baseline entry is preserved).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.experiments.tables import format_table
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.machine.wordlevel import WordLevelMatmulMachine
+from repro.mapping import designs
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def _operands(u, p, seed=0):
+    rng = random.Random(seed)
+    x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+    y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+    return x, y
+
+
+def _timed_run(u, p, backend, repeats=3, expansion="II", design="fig4"):
+    """Best-of-N wall clock plus the (identical) run and metrics."""
+    x, y = _operands(u, p)
+    mapping = (
+        designs.fig5_mapping(p) if design == "fig5" else designs.fig4_mapping(p)
+    )
+    machine = BitLevelMatmulMachine(u, p, mapping, expansion, backend=backend)
+    best = None
+    out = None
+    metrics = None
+    for _ in range(repeats):
+        with obs.collecting() as reg:
+            t0 = time.perf_counter()
+            out = machine.run(x, y)
+            elapsed = time.perf_counter() - t0
+        metrics = obs.metrics_dict(reg)
+        best = elapsed if best is None else min(best, elapsed)
+    return best, out, metrics
+
+
+def _assert_identical(run_pw, m_pw, run_wf, m_wf, label):
+    assert run_pw.product == run_wf.product, f"{label}: product diverged"
+    assert run_pw.sim == run_wf.sim, f"{label}: SimulationResult diverged"
+    assert m_pw["counters"] == m_wf["counters"], f"{label}: counters diverged"
+    assert m_pw["gauges"] == m_wf["gauges"], f"{label}: gauges diverged"
+
+
+# -- pytest-benchmark kernels -----------------------------------------------
+
+U, P = 4, 4
+X, Y = _operands(U, P)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    rows = []
+    data_rows = []
+    for u, p in ((4, 4), (6, 6)):
+        t_pw, run_pw, m_pw = _timed_run(u, p, "pointwise", repeats=1)
+        t_wf, run_wf, m_wf = _timed_run(u, p, "wavefront", repeats=1)
+        _assert_identical(run_pw, m_pw, run_wf, m_wf, f"u={u} p={p}")
+        rows.append(
+            (u, p, run_pw.sim.computations, f"{t_pw * 1e3:.1f}",
+             f"{t_wf * 1e3:.1f}", f"{t_pw / t_wf:.1f}x")
+        )
+        data_rows.append({
+            "u": u, "p": p, "points": run_pw.sim.computations,
+            "pointwise_s": round(t_pw, 4), "wavefront_s": round(t_wf, 4),
+            "speedup": round(t_pw / t_wf, 2), "identical": True,
+        })
+    text = format_table(
+        ["u", "p", "points", "pointwise ms", "wavefront ms", "speedup"],
+        rows,
+        title="Simulator backends: add-shift bit-level matmul (fig4, exp II)",
+    )
+    report_writer(
+        "simulator-backends", text,
+        data={"backend": "wavefront-vs-pointwise", "rows": data_rows},
+    )
+
+
+def test_bench_pointwise_backend(benchmark):
+    machine = BitLevelMatmulMachine(
+        U, P, designs.fig4_mapping(P), "II", backend="pointwise"
+    )
+    out = benchmark(machine.run, X, Y)
+    assert out.sim.makespan == designs.t_fig4(U, P)
+
+
+def test_bench_wavefront_backend(benchmark):
+    machine = BitLevelMatmulMachine(
+        U, P, designs.fig4_mapping(P), "II", backend="wavefront"
+    )
+    out = benchmark(machine.run, X, Y)
+    assert out.sim.makespan == designs.t_fig4(U, P)
+
+
+def test_bench_wavefront_word_level(benchmark):
+    machine = WordLevelMatmulMachine(8, 4, "carry-save", backend="wavefront")
+    x, y = _operands(8, 4, seed=1)
+    out = benchmark(machine.run, x, y)
+    ref = [
+        [sum(x[i][k] * y[k][j] for k in range(8)) for j in range(8)]
+        for i in range(8)
+    ]
+    assert out.product == ref
+
+
+# -- script modes -----------------------------------------------------------
+
+def _smoke(metrics_out: str | None) -> int:
+    u = p = 6
+    t_pw, run_pw, m_pw = _timed_run(u, p, "pointwise")
+    t_wf, run_wf, m_wf = _timed_run(u, p, "wavefront")
+    _assert_identical(run_pw, m_pw, run_wf, m_wf, f"u={u} p={p}")
+    speedup = t_pw / t_wf
+    print(f"smoke: u={u} p={p} ({run_pw.sim.computations} points)  "
+          f"pointwise {t_pw * 1e3:.1f} ms  wavefront {t_wf * 1e3:.1f} ms  "
+          f"speedup {speedup:.1f}x  identical=True")
+    if metrics_out:
+        pathlib.Path(metrics_out).write_text(
+            json.dumps(m_wf, indent=2, sort_keys=True) + "\n"
+        )
+    assert speedup >= 3.0, (
+        f"wavefront speedup {speedup:.2f}x below the 3x smoke floor"
+    )
+    return 0
+
+
+def _record(repeats: int) -> int:
+    u = p = 8
+    print(f"recording u={u} p={p} add-shift instance (best of {repeats})...")
+    t_pw, run_pw, m_pw = _timed_run(u, p, "pointwise", repeats)
+    t_wf, run_wf, m_wf = _timed_run(u, p, "wavefront", repeats)
+    _assert_identical(run_pw, m_pw, run_wf, m_wf, f"u={u} p={p}")
+    speedup = t_pw / t_wf
+    print(f"pointwise: {t_pw:.3f}s  wavefront: {t_wf:.3f}s  "
+          f"speedup {speedup:.1f}x  identical=True")
+
+    print("recording u=16 p=16 wavefront-only scale run...")
+    t_big, run_big, _ = _timed_run(16, 16, "wavefront", repeats=1)
+    x, y = _operands(16, 16)
+    mask = (1 << (2 * 16 - 1)) - 1
+    ref = [
+        [sum(x[i][k] * y[k][j] for k in range(16)) & mask for j in range(16)]
+        for i in range(16)
+    ]
+    assert run_big.product == ref, "p=16/u=16 product mismatch"
+    print(f"u=16 p=16: {run_big.sim.computations} points in {t_big:.2f}s, "
+          f"product exact")
+
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    data.setdefault("baseline", {
+        "backend": "pointwise",
+        "seconds": round(t_pw, 3),
+        "note": "dict-backed per-point interpreter, p=8/u=8 add-shift",
+    })
+    data.update({
+        "instance": {
+            "algorithm": "bit-level matmul (add-shift lattice)",
+            "u": u, "p": p, "design": "fig4", "expansion": "II",
+            "points": run_pw.sim.computations,
+        },
+        "environment": {"cpu_count": os.cpu_count(),
+                        "python": sys.version.split()[0]},
+        "engine": {
+            "pointwise": {
+                "seconds": round(t_pw, 3),
+                "store_reads": m_pw["counters"].get("machine.store_reads"),
+                "store_writes": m_pw["counters"].get("machine.store_writes"),
+            },
+            "wavefront": {
+                "seconds": round(t_wf, 3),
+                "store_reads": m_wf["counters"].get("machine.store_reads"),
+                "store_writes": m_wf["counters"].get("machine.store_writes"),
+            },
+            "results_identical_across_backends": True,
+            "speedup_wavefront_vs_pointwise": round(speedup, 2),
+        },
+        "scale_run": {
+            "u": 16, "p": 16, "backend": "wavefront",
+            "points": run_big.sim.computations,
+            "seconds": round(t_big, 3),
+            "product_exact": True,
+        },
+    })
+    baseline = data["baseline"]["seconds"]
+    data["speedup_vs_baseline"] = round(baseline / t_wf, 2)
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_FILE}")
+    print(f"speedup vs pointwise baseline ({baseline}s): {baseline / t_wf:.1f}x")
+    assert speedup >= 10.0, (
+        f"wavefront speedup {speedup:.2f}x below the 10x record floor"
+    )
+    assert t_big < 10.0, f"p=16/u=16 run took {t_big:.1f}s (>= 10s)"
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true",
+                      help="small instance on both backends; assert equal "
+                           "results and >= 3x speedup")
+    mode.add_argument("--record", action="store_true",
+                      help="measure p=8/u=8 on both backends plus the "
+                           "p=16/u=16 scale run; update BENCH_simulator.json")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the smoke run's wavefront metrics dict")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats for --record (best-of)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke(args.metrics_out)
+    return _record(args.repeats)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,14 +114,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
     y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
     t = designs.fig5_mapping(p) if args.design == "fig5" else designs.fig4_mapping(p)
-    machine = BitLevelMatmulMachine(u, p, t, args.expansion)
+    machine = BitLevelMatmulMachine(u, p, t, args.expansion, backend=args.backend)
     run = machine.run(x, y)
     mask = (1 << (2 * p - 1)) - 1
     want = [
         [sum(x[i][k] * y[k][j] for k in range(u)) & mask for j in range(u)]
         for i in range(u)
     ]
-    print(f"design={args.design} u={u} p={p} expansion={args.expansion}")
+    from repro.machine import resolve_backend
+
+    print(f"design={args.design} u={u} p={p} expansion={args.expansion} "
+          f"backend={resolve_backend(args.backend)}")
     print(f"makespan: {run.sim.makespan}  PEs: {run.sim.processor_count}  "
           f"utilization: {run.sim.mean_utilization:.1%}")
     from repro import obs
@@ -141,7 +144,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.gantt:
         from repro.machine.simulator import SpaceTimeSimulator
 
-        sim = SpaceTimeSimulator(t, machine.algorithm, machine.binding)
+        sim = SpaceTimeSimulator(
+            t, machine.algorithm, machine.binding, backend=args.backend
+        )
         sim.run(lambda q, s: None)
         print(render_gantt(sim.pes))
     return 0 if run.product == want else 1
@@ -277,6 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_sim)
     p_sim.add_argument("--design", choices=["fig4", "fig5"], default="fig4")
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--backend", choices=["pointwise", "wavefront"], default=None,
+        help="simulator engine (default: REPRO_SIM_BACKEND or pointwise)",
+    )
     p_sim.add_argument("--gantt", action="store_true", help="print PE chart")
     p_sim.set_defaults(fn=_cmd_simulate)
 

@@ -51,8 +51,15 @@ def run(
     cases: tuple[tuple[int, int], ...] = ((2, 2), (3, 3), (4, 3)),
     optimality_bound: int = 2,
     seed: int = 4,
+    backend: str | None = None,
 ) -> dict:
-    """Run the full Fig. 4 validation for each ``(u, p)``."""
+    """Run the full Fig. 4 validation for each ``(u, p)``.
+
+    ``backend`` selects the simulator engine for the bit-exact execution
+    check (``None``: the process default).
+    """
+    from repro.machine.simulator import resolve_backend
+
     rng = random.Random(seed)
     rows = []
     all_ok = True
@@ -90,7 +97,7 @@ def run(
             t_mat, alg, binding, coeff_bound=optimality_bound
         )
 
-        machine = BitLevelMatmulMachine(u, p, t_mat, "II")
+        machine = BitLevelMatmulMachine(u, p, t_mat, "II", backend=backend)
         mask = (1 << (2 * p - 1)) - 1
         x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
         y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
@@ -120,7 +127,12 @@ def run(
             "best_schedule": best,
             "run": run_out,
         }
-    return {"rows": rows, "ok": all_ok, "details": details}
+    return {
+        "rows": rows,
+        "ok": all_ok,
+        "details": details,
+        "backend": resolve_backend(backend),
+    }
 
 
 def report(data: dict | None = None) -> str:

@@ -31,8 +31,15 @@ __all__ = ["run", "report"]
 def run(
     cases: tuple[tuple[int, int], ...] = ((2, 2), (3, 3), (4, 3)),
     seed: int = 5,
+    backend: str | None = None,
 ) -> dict:
-    """Run the full Fig. 5 validation for each ``(u, p)``."""
+    """Run the full Fig. 5 validation for each ``(u, p)``.
+
+    ``backend`` selects the simulator engine for the bit-exact execution
+    check (``None``: the process default).
+    """
+    from repro.machine.simulator import resolve_backend
+
     rng = random.Random(seed)
     rows = []
     all_ok = True
@@ -52,7 +59,7 @@ def run(
         array = SystolicArray(t_mat, alg, binding, rep.interconnect)
         no_long_wires = array.longest_wire <= 1
 
-        machine = BitLevelMatmulMachine(u, p, t_mat, "II")
+        machine = BitLevelMatmulMachine(u, p, t_mat, "II", backend=backend)
         mask = (1 << (2 * p - 1)) - 1
         x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
         y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
@@ -75,7 +82,7 @@ def run(
             (u, p, rep.feasible, t_sim, t_actual, t_printed, pe_count,
              no_long_wires, func_ok, round(t_sim / designs.t_fig4(u, p), 2))
         )
-    return {"rows": rows, "ok": all_ok}
+    return {"rows": rows, "ok": all_ok, "backend": resolve_backend(backend)}
 
 
 def report(data: dict | None = None) -> str:

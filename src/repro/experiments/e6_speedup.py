@@ -43,8 +43,14 @@ def run(
     u: int = 32,
     p_values: tuple[int, ...] = (2, 4, 8, 16, 24),
     simulate_up_to: tuple[int, int] = (4, 4),
+    backend: str | None = None,
 ) -> dict:
-    """Sweep ``p``; include simulator confirmation for small sizes."""
+    """Sweep ``p``; include simulator confirmation for small sizes.
+
+    ``backend`` selects the simulator engine for the confirmation runs
+    (``None``: the process default).
+    """
+    from repro.machine.simulator import resolve_backend
     rows = []
     s_as, s_cs = [], []
     for p in p_values:
@@ -64,7 +70,7 @@ def run(
     su, sp = simulate_up_to
     sim_rows = []
     for arith in ("add-shift", "carry-save"):
-        m = WordLevelMatmulMachine(su, sp, arith)
+        m = WordLevelMatmulMachine(su, sp, arith, backend=backend)
         x = [[(i + j) % (1 << sp) for j in range(su)] for i in range(su)]
         y = [[(i * j + 1) % (1 << sp) for j in range(su)] for i in range(su)]
         out = m.run(x, y)
@@ -91,6 +97,7 @@ def run(
         "sim_rows": sim_rows,
         "ok": ok,
         "u": u,
+        "backend": resolve_backend(backend),
     }
 
 

@@ -25,11 +25,20 @@ from repro.machine.bitlevel import BitLevelMatmulMachine
 from repro.machine.io_schedule import input_schedule, output_schedule
 from repro.machine.model import BitLevelModelMachine
 from repro.machine.partition import PartitionedModelMachine
-from repro.machine.simulator import SimulationResult, SpaceTimeSimulator
+from repro.machine.simulator import (
+    BACKENDS,
+    SimulationResult,
+    SpaceTimeSimulator,
+    default_backend,
+    resolve_backend,
+)
 from repro.machine.wordlevel import WordLevelMatmulMachine
 from repro.machine.wordmodel import WordLevelModelMachine
 
 __all__ = [
+    "BACKENDS",
+    "default_backend",
+    "resolve_backend",
     "SystolicArray",
     "BitLevelMatmulMachine",
     "BitLevelModelMachine",

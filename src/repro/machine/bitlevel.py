@@ -57,6 +57,11 @@ class BitLevelMatmulMachine:
         fig4_mapping`).
     expansion:
         ``"I"`` or ``"II"`` (the paper's designs use Expansion II).
+    backend:
+        Simulator backend (``"pointwise"`` | ``"wavefront"``); ``None``
+        defers to :func:`repro.machine.simulator.default_backend`.  Under
+        the wavefront backend the run executes through the vectorized
+        :class:`~repro.machine.wavefront.MatmulSlotKernel`.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class BitLevelMatmulMachine:
         p: int,
         mapping: MappingMatrix,
         expansion: str | Expansion = "II",
+        backend: str | None = None,
     ):
         self.u = int(u)
         self.p = int(p)
@@ -72,6 +78,7 @@ class BitLevelMatmulMachine:
         self.expansion = get_expansion(expansion)
         self.algorithm = matmul_bit_level(u, p, self.expansion.key)
         self.binding = {"u": self.u, "p": self.p}
+        self.backend = backend
 
     # -- main entry ---------------------------------------------------------
     def run(self, x: Sequence[Sequence[int]], y: Sequence[Sequence[int]]) -> MatmulRun:
@@ -143,8 +150,18 @@ class BitLevelMatmulMachine:
             self._route(store, q, 1, (inputs >> 1) & 1, state, var="c")
             self._route(store, q, 2, (inputs >> 2) & 1, state, var="c2")
 
-        sim = SpaceTimeSimulator(self.mapping, self.algorithm, self.binding)
-        result = sim.run(compute)
+        sim = SpaceTimeSimulator(
+            self.mapping, self.algorithm, self.binding, backend=self.backend
+        )
+        kernel = None
+        if sim.backend == "wavefront":
+            from repro.machine import wavefront
+
+            if wavefront.HAVE_NUMPY and p <= 62:
+                kernel = wavefront.MatmulSlotKernel(
+                    u, p, self.expansion.key, x, y, state
+                )
+        result = sim.run(compute, kernel=kernel)
         product = self._extract(sim.store)
         return MatmulRun(
             product=product,

@@ -62,12 +62,14 @@ class BitLevelModelMachine:
         p: int,
         mapping: MappingMatrix,
         expansion: str | Expansion = "II",
+        backend: str | None = None,
     ):
         self.n = len(h1)
         if not (len(h2) == len(h3) == len(lowers) == len(uppers) == self.n):
             raise ValueError("h̄ vectors and bounds must share one dimension")
         if not any(h3):
             raise ValueError("h̄₃ must be nonzero (z must accumulate)")
+        self.backend = backend
         self.h1 = tuple(int(x) for x in h1)
         self.h2 = tuple(int(x) for x in h2)
         self.h3 = tuple(int(x) for x in h3)
@@ -213,7 +215,11 @@ class BitLevelModelMachine:
             self._route(store, q, 1, (inputs >> 1) & 1, state, "c")
             self._route(store, q, 2, (inputs >> 2) & 1, state, "c2")
 
-        sim = SpaceTimeSimulator(self.mapping, self.algorithm, self.binding)
+        # Generic model lattices run the wavefront backend through its
+        # compatibility shim (batched transforms, slot-ordered firing).
+        sim = SpaceTimeSimulator(
+            self.mapping, self.algorithm, self.binding, backend=self.backend
+        )
         result = sim.run(compute)
 
         # Extract z words.  Under Expansion I, non-final iterations hold a

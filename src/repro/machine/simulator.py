@@ -14,6 +14,23 @@ The executor is value-generic: callers supply a ``compute(point, store)``
 function; :class:`ValueStore` is the communication fabric (a write-once
 space-time memory with causality checking).
 
+Two execution backends share this machine model (see ``docs/SIMULATION.md``):
+
+* ``"pointwise"`` -- the reference interpreter: one index point at a time
+  through a dict-backed store, with per-point memoized ``Π j̄`` / ``S j̄``;
+* ``"wavefront"`` -- the vectorized engine of
+  :mod:`repro.machine.wavefront`: all points are bucketed by schedule time
+  up front (one batched ``times_of`` matmul), whole time slots fire at
+  once against dense array-indexed storage, and the machine-model checks
+  run as per-slot assertions.  Generic ``compute`` callables are supported
+  through a compatibility shim; the shipped arithmetic machines provide
+  fully vectorized slot kernels.
+
+Both backends produce identical :class:`SimulationResult` values, store
+contents, and observability metrics; the default is selected by
+:func:`default_backend` (the ``REPRO_SIM_BACKEND`` environment variable,
+``"pointwise"`` otherwise).
+
 When an ambient :mod:`repro.obs` registry is installed, each run emits a
 ``machine.simulate`` span plus counters/gauges: store read/write and
 causality-check totals, per-PE busy beats (``machine.pe_busy.<coords>``),
@@ -25,6 +42,7 @@ condition 2 bounds by the interconnection primitives.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -34,11 +52,50 @@ from repro.mapping.transform import MappingMatrix
 from repro.structures.algorithm import Algorithm
 from repro.structures.params import ParamBinding
 
-__all__ = ["ValueStore", "SimulationResult", "SpaceTimeSimulator"]
+__all__ = [
+    "BACKENDS",
+    "default_backend",
+    "ValueStore",
+    "SimulationResult",
+    "SpaceTimeSimulator",
+]
+
+#: The recognized execution backends.
+BACKENDS = ("pointwise", "wavefront")
+
+
+def default_backend() -> str:
+    """The process-wide default backend.
+
+    Honors ``REPRO_SIM_BACKEND`` (``pointwise`` | ``wavefront``) so fuzz
+    and CI jobs can flip every simulator in one place; falls back to
+    ``"pointwise"``.
+    """
+    backend = os.environ.get("REPRO_SIM_BACKEND", "pointwise")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_SIM_BACKEND={backend!r} is not one of {BACKENDS}"
+        )
+    return backend
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate an explicit backend choice (``None`` -> the default)."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
 
 
 class ValueStore:
-    """Write-once space-time memory with causality checking."""
+    """Write-once space-time memory with causality checking.
+
+    Schedule times and processor coordinates of producer/consumer points
+    are memoized per point: every causality check and both endpoints of
+    every link-traffic attribution hit the cache instead of re-running the
+    ``Π j̄`` / ``S j̄`` dot products.
+    """
 
     def __init__(self, mapping: MappingMatrix):
         self._mapping = mapping
@@ -46,9 +103,26 @@ class ValueStore:
         self._current_time: int | None = None
         self._reader_point: tuple[int, ...] | None = None
         self._registry = None  # ambient obs registry, set by the simulator
+        self._time_cache: dict[tuple[int, ...], int] = {}
+        self._proc_cache: dict[tuple[int, ...], tuple[int, ...]] = {}
         self.reads = 0
         self.writes = 0
         self.causality_checks = 0
+
+    # -- memoized space-time transforms ------------------------------------
+    def time_of(self, point: tuple[int, ...]) -> int:
+        """Memoized ``Π j̄``."""
+        t = self._time_cache.get(point)
+        if t is None:
+            t = self._time_cache[point] = self._mapping.time_of(point)
+        return t
+
+    def processor_of(self, point: tuple[int, ...]) -> tuple[int, ...]:
+        """Memoized ``S j̄``."""
+        pos = self._proc_cache.get(point)
+        if pos is None:
+            pos = self._proc_cache[point] = self._mapping.processor_of(point)
+        return pos
 
     def _set_time(self, time: int | None) -> None:
         self._current_time = time
@@ -74,7 +148,7 @@ class ValueStore:
             return default
         if self._current_time is not None:
             self.causality_checks += 1
-            produced_at = self._mapping.time_of(key[1])
+            produced_at = self.time_of(key[1])
             if produced_at >= self._current_time:
                 raise AssertionError(
                     f"causality violation: {key} produced at t={produced_at}, "
@@ -82,8 +156,8 @@ class ValueStore:
                 )
         reg = self._registry
         if reg is not None and self._reader_point is not None:
-            src = self._mapping.processor_of(key[1])
-            dst = self._mapping.processor_of(self._reader_point)
+            src = self.processor_of(key[1])
+            dst = self.processor_of(self._reader_point)
             if src == dst:
                 reg.count("machine.link.local")
             else:
@@ -109,6 +183,10 @@ class ValueStore:
     def pop_pending(self, var: str, point: Sequence[int]) -> int:
         """Consume a pending slot (0 if nothing was routed there)."""
         return self._values.pop((var, tuple(point)), 0)
+
+    def snapshot(self) -> dict[tuple[str, tuple[int, ...]], int]:
+        """The full ``(var, point) -> value`` store contents (copied)."""
+        return dict(self._values)
 
 
 @dataclass
@@ -150,53 +228,120 @@ class SimulationResult:
         return {pos: n / self.makespan for pos, n in self.pe_busy.items()}
 
 
+def emit_machine_metrics(reg, result: SimulationResult, store) -> None:
+    """Emit the run's ``machine.*`` counters/gauges to ``reg``.
+
+    Shared by both backends so the metric names, order, and values are
+    identical whichever engine produced ``result``.  Emitted for *every*
+    run -- including empty index sets -- so downstream consumers always
+    see one consistent metrics shape.
+    """
+    if reg is None:
+        return
+    reg.count("machine.computations", result.computations)
+    reg.count("machine.store_reads", store.reads)
+    reg.count("machine.store_writes", store.writes)
+    reg.count("machine.causality_checks", store.causality_checks)
+    reg.gauge("machine.makespan", result.makespan)
+    reg.gauge("machine.processor_count", result.processor_count)
+    reg.gauge("machine.mean_utilization", result.mean_utilization)
+    reg.gauge("machine.always_busy", int(result.always_busy))
+    for pos, n in result.pe_busy.items():
+        label = ",".join(str(x) for x in pos)
+        reg.gauge(f"machine.pe_busy.{label}", n)
+
+
 class SpaceTimeSimulator:
-    """Execute an algorithm instance under a mapping."""
+    """Execute an algorithm instance under a mapping.
+
+    ``backend`` selects the execution engine (``"pointwise"`` |
+    ``"wavefront"``); ``None`` defers to :func:`default_backend`.
+    """
 
     def __init__(
         self,
         mapping: MappingMatrix,
         algorithm: Algorithm,
         binding: ParamBinding,
+        backend: str | None = None,
     ):
         self.mapping = mapping
         self.algorithm = algorithm
         self.binding = dict(binding)
+        self.backend = resolve_backend(backend)
         self.store = ValueStore(mapping)
-        self.pes: dict[tuple[int, ...], ProcessorElement] = {}
+        self._pes: dict[tuple[int, ...], ProcessorElement] = {}
+        self._pes_builder: Callable[[], dict] | None = None
+
+    @property
+    def pes(self) -> dict[tuple[int, ...], ProcessorElement]:
+        """The PE map, keyed by processor coordinates.
+
+        The wavefront backend derives utilization statistics from arrays
+        and only materializes the per-PE firing records on first access
+        (they are O(points) Python objects the fast path never needs).
+        """
+        if self._pes_builder is not None:
+            builder, self._pes_builder = self._pes_builder, None
+            self._pes = builder()
+        return self._pes
 
     def run(
-        self, compute: Callable[[tuple[int, ...], ValueStore], None]
+        self,
+        compute: Callable[[tuple[int, ...], ValueStore], None],
+        kernel=None,
     ) -> SimulationResult:
         """Fire every index point in schedule order.
 
-        ``compute`` receives the index point and the shared
-        :class:`ValueStore`; it should read its inputs (with boundary
-        defaults), compute, and write its outputs.
+        ``compute`` receives the index point and the shared store (a
+        :class:`ValueStore`; under the wavefront backend the store the
+        simulator ends up holding may be the dense
+        :class:`~repro.machine.wavefront.DenseValueStore` -- same
+        interface); it should read its inputs (with boundary defaults),
+        compute, and write its outputs.
+
+        ``kernel``, when given, is a vectorized slot kernel (see
+        :mod:`repro.machine.wavefront`) semantically equivalent to
+        ``compute``; the wavefront backend fires it one whole time slot at
+        a time instead of calling ``compute`` per point.  The pointwise
+        backend ignores it.
         """
+        if self.backend == "wavefront":
+            from repro.machine.wavefront import run_wavefront
+
+            return run_wavefront(self, compute, kernel)
+        return self._run_pointwise(compute)
+
+    def _run_pointwise(
+        self, compute: Callable[[tuple[int, ...], ValueStore], None]
+    ) -> SimulationResult:
         reg = obs.get_registry()
-        self.store._registry = reg
-        with obs.span("machine.simulate", mapping=self.mapping.name):
+        store = self.store
+        store._registry = reg
+        with obs.span(
+            "machine.simulate", mapping=self.mapping.name, backend="pointwise"
+        ):
             points = sorted(
                 self.algorithm.index_set.points(self.binding),
-                key=self.mapping.time_of,
+                key=store.time_of,
             )
-            if not points:
-                return SimulationResult(0, 0, -1, 0, 0)
             busy: dict[int, int] = {}
             for point in points:
-                t = self.mapping.time_of(point)
-                pos = self.mapping.processor_of(point)
+                t = store.time_of(point)
+                pos = store.processor_of(point)
                 pe = self.pes.get(pos)
                 if pe is None:
                     pe = self.pes[pos] = ProcessorElement(pos)
                 pe.fire(t, point)
                 busy[t] = busy.get(t, 0) + 1
-                self.store._set_context(t, point)
-                compute(point, self.store)
-            self.store._set_context(None, None)  # post-run reads: off the clock
-            first = self.mapping.time_of(points[0])
-            last = self.mapping.time_of(points[-1])
+                store._set_context(t, point)
+                compute(point, store)
+            store._set_context(None, None)  # post-run reads: off the clock
+            if points:
+                first = store.time_of(points[0])
+                last = store.time_of(points[-1])
+            else:
+                first, last = 0, -1
             result = SimulationResult(
                 makespan=last - first + 1,
                 first_time=first,
@@ -204,20 +349,9 @@ class SpaceTimeSimulator:
                 computations=len(points),
                 processor_count=len(self.pes),
                 busy_per_step=busy,
-                store_reads=self.store.reads,
-                store_writes=self.store.writes,
+                store_reads=store.reads,
+                store_writes=store.writes,
                 pe_busy={pos: pe.busy_cycles for pos, pe in self.pes.items()},
             )
-        if reg is not None:
-            reg.count("machine.computations", result.computations)
-            reg.count("machine.store_reads", self.store.reads)
-            reg.count("machine.store_writes", self.store.writes)
-            reg.count("machine.causality_checks", self.store.causality_checks)
-            reg.gauge("machine.makespan", result.makespan)
-            reg.gauge("machine.processor_count", result.processor_count)
-            reg.gauge("machine.mean_utilization", result.mean_utilization)
-            reg.gauge("machine.always_busy", int(result.always_busy))
-            for pos, n in result.pe_busy.items():
-                label = ",".join(str(x) for x in pos)
-                reg.gauge(f"machine.pe_busy.{label}", n)
+        emit_machine_metrics(reg, result, store)
         return result

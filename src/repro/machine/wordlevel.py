@@ -40,10 +40,17 @@ class WordMatmulRun:
 class WordLevelMatmulMachine:
     """Run ``Z = X · Y`` on the word-level array with sequential arithmetic."""
 
-    def __init__(self, u: int, p: int, arithmetic: str = "add-shift"):
+    def __init__(
+        self,
+        u: int,
+        p: int,
+        arithmetic: str = "add-shift",
+        backend: str | None = None,
+    ):
         self.u = int(u)
         self.p = int(p)
         self.arithmetic = arithmetic
+        self.backend = backend
         if arithmetic == "add-shift":
             self.multiplier = SequentialAddShift(p)
         elif arithmetic == "carry-save":
@@ -76,8 +83,19 @@ class WordLevelMatmulMachine:
             acc = store.get("z", (j1, j2, j3 - 1), 0)
             store.put("z", q, acc + self.multiplier.multiply(xv, yv))
 
-        sim = SpaceTimeSimulator(self.mapping, self.algorithm, binding)
-        result = sim.run(compute)
+        sim = SpaceTimeSimulator(
+            self.mapping, self.algorithm, binding, backend=self.backend
+        )
+        kernel = None
+        if sim.backend == "wavefront":
+            from repro.machine import wavefront
+
+            # Accumulated z words (< u * 2^{2p}) must fit int64 lanes.
+            if wavefront.HAVE_NUMPY and 2 * self.p + u.bit_length() <= 62:
+                kernel = wavefront.WordMatmulSlotKernel(
+                    u, self.multiplier, x, y
+                )
+        result = sim.run(compute, kernel=kernel)
         product = [
             [sim.store.get("z", (j1, j2, u)) for j2 in range(1, u + 1)]
             for j1 in range(1, u + 1)

@@ -52,7 +52,9 @@ class WordLevelModelMachine:
         p: int,
         mapping: MappingMatrix,
         arithmetic: str = "add-shift",
+        backend: str | None = None,
     ):
+        self.backend = backend
         self.n = len(h1)
         if not (len(h2) == len(h3) == len(lowers) == len(uppers) == self.n):
             raise ValueError("h̄ vectors and bounds must share one dimension")
@@ -105,7 +107,9 @@ class WordLevelModelMachine:
                 acc = z_init.get(q, 0)
             store.put("z", q, acc + self.multiplier.multiply(xv, yv))
 
-        sim = SpaceTimeSimulator(self.mapping, self.algorithm, {})
+        sim = SpaceTimeSimulator(
+            self.mapping, self.algorithm, {}, backend=self.backend
+        )
         result = sim.run(compute)
         z_words = {
             j: sim.store.get("z", j) for j in self.word_set.points({})

@@ -14,13 +14,18 @@ from repro.structures.params import ParamBinding
 from repro.util.intmath import gcd_list
 from repro.util.linalg import integer_rank, mat_vec
 
+try:  # pragma: no cover - both paths exercised by the test suite
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["MappingMatrix"]
 
 
 class MappingMatrix:
     """``T = [S; Π]`` with the space map ``S`` and linear schedule ``Π``."""
 
-    __slots__ = ("rows", "name")
+    __slots__ = ("rows", "name", "_np_schedule", "_np_space")
 
     def __init__(self, rows: Sequence[Sequence[int]], name: str = "T"):
         self.rows: tuple[tuple[int, ...], ...] = tuple(
@@ -32,6 +37,8 @@ class MappingMatrix:
         if any(len(r) != width for r in self.rows):
             raise ValueError("ragged mapping matrix")
         self.name = name
+        self._np_schedule = None  # lazy numpy views, built on first batch call
+        self._np_space = None
 
     # -- structure -----------------------------------------------------------
     @property
@@ -66,6 +73,46 @@ class MappingMatrix:
     def apply(self, point: Sequence[int]) -> tuple[tuple[int, ...], int]:
         """``(processor, time)`` of a computation."""
         return self.processor_of(point), self.time_of(point)
+
+    # -- batch application ------------------------------------------------------
+    def times_of(self, points):
+        """``Π j̄`` for a whole block of points in one shot.
+
+        ``points`` is an ``(N, n)`` array-like (sequence of points or a
+        NumPy array).  Returns an ``int64`` ndarray of length ``N`` when
+        NumPy is available, else a plain ``list[int]`` -- either way a
+        sequence whose ``k``-th entry equals ``time_of(points[k])``.
+        """
+        if _np is not None:
+            if self._np_schedule is None:
+                self._np_schedule = _np.asarray(self.rows[-1], dtype=_np.int64)
+            block = _np.asarray(points, dtype=_np.int64)
+            if block.size == 0:  # empty index sets batch to empty results
+                return _np.zeros(0, dtype=_np.int64)
+            if block.ndim == 1:  # a single point: keep shape conventions tight
+                block = block.reshape(1, -1)
+            return block @ self._np_schedule
+        return [self.time_of(pt) for pt in points]
+
+    def processors_of(self, points):
+        """``S j̄`` for a whole block of points in one shot.
+
+        Returns an ``(N, k-1)`` ``int64`` ndarray when NumPy is available,
+        else a ``list[tuple[int, ...]]``; row ``k`` equals
+        ``processor_of(points[k])``.
+        """
+        if _np is not None:
+            if self._np_space is None:
+                self._np_space = _np.asarray(
+                    [list(r) for r in self.rows[:-1]], dtype=_np.int64
+                ).reshape(len(self.rows) - 1, self.n)
+            block = _np.asarray(points, dtype=_np.int64)
+            if block.size == 0:
+                return _np.zeros((0, len(self.rows) - 1), dtype=_np.int64)
+            if block.ndim == 1:
+                block = block.reshape(1, -1)
+            return block @ self._np_space.T
+        return [self.processor_of(pt) for pt in points]
 
     def map_vector(self, vector: Sequence[int]) -> list[int]:
         """``T d̄``: the space-time displacement of a dependence vector."""

@@ -60,24 +60,40 @@ def _design_mapping(case: SimulatorCase):
     return designs.fig4_mapping(case.p)
 
 
-def check(case: SimulatorCase) -> str | None:
-    """Return a mismatch description, or ``None`` on exact agreement."""
+def check(case: SimulatorCase, backend: str | None = None) -> str | None:
+    """Return a mismatch description, or ``None`` on exact agreement.
+
+    ``backend`` selects the simulator engine for the machine-backed modes
+    (``None`` defers to :func:`repro.machine.simulator.default_backend`,
+    i.e. the ``REPRO_SIM_BACKEND`` environment variable in fuzz jobs); the
+    wavefront backend routes every mode through the batched space-time
+    transforms and slot kernels.
+    """
     if case.mode == "baughwooley":
         from repro.arith.baughwooley import BaughWooleyMultiplier
 
-        got = BaughWooleyMultiplier(case.p).multiply(case.a, case.b)
+        multiplier = BaughWooleyMultiplier(case.p)
+        got = multiplier.multiply(case.a, case.b)
         want = case.a * case.b
         if got != want:
             return (
                 f"BaughWooley({case.p}).multiply({case.a}, {case.b}) = "
                 f"{got}, expected {want}"
             )
+        batch = multiplier.multiply_block([case.a], [case.b])
+        if int(batch[0]) != want:
+            return (
+                f"BaughWooley({case.p}).multiply_block([{case.a}], "
+                f"[{case.b}]) = {int(batch[0])}, expected {want}"
+            )
         return None
 
     if case.mode == "word":
         from repro.machine.wordlevel import WordLevelMatmulMachine
 
-        machine = WordLevelMatmulMachine(case.u, case.p, case.arithmetic)
+        machine = WordLevelMatmulMachine(
+            case.u, case.p, case.arithmetic, backend=backend
+        )
         run = machine.run([list(r) for r in case.x], [list(r) for r in case.y])
         want = reference_matmul(case.x, case.y)
         if run.product != want:
@@ -92,7 +108,9 @@ def check(case: SimulatorCase) -> str | None:
     from repro.mapping.schedule import execution_time
 
     t = _design_mapping(case)
-    machine = BitLevelMatmulMachine(case.u, case.p, t, case.expansion)
+    machine = BitLevelMatmulMachine(
+        case.u, case.p, t, case.expansion, backend=backend
+    )
     modulus = 1 << (2 * case.p - 1)
 
     if case.mode == "signed":
