@@ -18,10 +18,8 @@ Besides the pytest-benchmark kernels, this module doubles as a script:
 
 import argparse
 import json
-import os
 import pathlib
 import random
-import sys
 import time
 
 import pytest
@@ -188,8 +186,7 @@ def _record(repeats: int) -> int:
             "u": u, "p": p, "design": "fig4", "expansion": "II",
             "points": run_pw.sim.computations,
         },
-        "environment": {"cpu_count": os.cpu_count(),
-                        "python": sys.version.split()[0]},
+        "environment": obs.environment_info(),
         "engine": {
             "pointwise": {
                 "seconds": round(t_pw, 3),

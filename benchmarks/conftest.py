@@ -27,11 +27,16 @@ def emit_report(exp_id: str, text: str, data: dict | None = None) -> None:
 
     ``data``, when given, must be JSON-serializable (tuples become lists)
     and is written to ``_reports/<exp_id>.json``; the ``.txt`` output is
-    unchanged either way.
+    unchanged either way.  An ``environment`` block (CPU count, Python,
+    numpy, commit) is captured automatically unless the module supplied
+    its own.
     """
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{exp_id}.txt").write_text(text + "\n")
     if data is not None:
+        from repro import obs
+
+        data.setdefault("environment", obs.environment_info())
         (REPORT_DIR / f"{exp_id}.json").write_text(
             json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
         )

@@ -45,7 +45,7 @@ from repro.structures import (
     DependenceVector,
     IndexSet,
 )
-from repro.depanalysis import analyze
+from repro.depanalysis import AnalysisConfig, analyze
 from repro.expansion import (
     BitLevelEvaluator,
     bit_level_structure,
@@ -74,6 +74,7 @@ __all__ = [
     "DependenceMatrix",
     "DependenceVector",
     "IndexSet",
+    "AnalysisConfig",
     "analyze",
     "BitLevelEvaluator",
     "bit_level_structure",

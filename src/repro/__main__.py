@@ -7,6 +7,8 @@ Usage::
     python -m repro design [options]          # check/search a matmul design
     python -m repro search [options]          # search the design space
     python -m repro simulate [options]        # run the bit-level matmul machine
+    python -m repro analyze [options]         # general dependence analysis
+    python -m repro cache stats|clear         # inspect the artifact cache
     python -m repro verify [options]          # differential oracle verification
 
 Every subcommand honors the global observability flags (before or after the
@@ -152,6 +154,59 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if run.product == want else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.depanalysis.analyzer import analyze
+    from repro.depanalysis.engine import AnalysisConfig, resolve_backend
+    from repro.ir.expand import expand_bit_level
+
+    u, p = args.u, args.p
+    program = expand_bit_level(
+        [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [u, u, u], p,
+        args.expansion,
+    )
+    config = AnalysisConfig(
+        backend=args.backend,
+        cache=not args.no_cache,  # this command defaults the cache to ON
+        cache_dir=args.cache_dir,
+    )
+    t0 = time.perf_counter()
+    result = analyze(
+        program, {"p": p}, method=args.method,
+        use_screens=not args.no_screens, config=config,
+    )
+    elapsed = time.perf_counter() - t0
+    print(f"bit-level matmul u={u} p={p} expansion={args.expansion}: "
+          f"method={args.method} backend={resolve_backend(args.backend)} "
+          f"screens={not args.no_screens}")
+    print(f"{len(result.instances)} dependence instances, "
+          f"{len(result.distinct_vectors())} distinct vectors "
+          f"({elapsed:.3f}s)")
+    for vec in result.distinct_vectors():
+        print(f"  d = {list(vec)}")
+    for key, value in result.stats.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ArtifactCache
+
+    cache = ArtifactCache(args.dir)
+    if args.action == "stats":
+        st = cache.stats()
+        print(f"cache root: {st['root']} (schema v{st['schema_version']})")
+        print(f"entries: {st['entries']}  bytes: {st['bytes']:,} "
+              f"(cap {st['max_bytes']:,})")
+        for kind, count in st["kinds"].items():
+            print(f"  {kind}: {count} entries")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entries under {cache.base}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import VerifyConfig, run_mutation_check, run_verification
 
@@ -289,6 +344,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gantt", action="store_true", help="print PE chart")
     p_sim.set_defaults(fn=_cmd_simulate)
 
+    p_analyze = sub.add_parser(
+        "analyze", help="run general dependence analysis on bit-level matmul"
+    )
+    common(p_analyze)
+    p_analyze.add_argument(
+        "--method", choices=["exact", "enumerate"], default="exact",
+        help="exact (Diophantine) or enumerate (hash-join oracle)",
+    )
+    p_analyze.add_argument(
+        "--backend", choices=["auto", "scalar", "batched"], default=None,
+        help="engine backend (default: REPRO_ANALYSIS_BACKEND or auto)",
+    )
+    p_analyze.add_argument(
+        "--no-screens", action="store_true",
+        help="skip GCD/Banerjee screening (method=exact only)",
+    )
+    p_analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    p_analyze.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    _obs_options(p_cache, top_level=False)
+    p_cache.set_defaults(fn=_cmd_cache)
+
     p_verify = sub.add_parser(
         "verify", help="differential verification: run the randomized oracles"
     )
@@ -304,8 +396,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument(
         "--oracle", action="append", default=None,
-        choices=["theorem31", "mapping", "simulator"],
-        help="run only this oracle (repeatable; default: all three)",
+        choices=["theorem31", "analysis", "mapping", "simulator"],
+        help="run only this oracle (repeatable; default: all)",
     )
     p_verify.add_argument(
         "--report", metavar="FILE", default=None,

@@ -1,0 +1,65 @@
+"""Persistent cross-run artifact cache.
+
+Content-addressed, on-disk memoization for the expensive pure derivations
+of the pipeline: dependence-analysis results, Theorem 3.1 structures, and
+the design-space search's conflict/interconnect solves.  Keys are SHA-256
+fingerprints of canonicalized inputs (:mod:`repro.cache.keys` -- including
+HNF normalization of per-pair subscript systems), values are exact JSON
+serializations (:mod:`repro.cache.serde`), and the store
+(:class:`repro.cache.store.ArtifactCache`) lives under
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro`` with a versioned schema and an
+LRU byte cap.
+
+Caching is opt-in: library calls default to "enabled iff
+``REPRO_CACHE_DIR`` is set"; the CLI's ``analyze`` subcommand enables it
+by default (``--no-cache`` opts out) and ``repro cache stats|clear``
+inspects the store.  See ``docs/ANALYSIS.md``.
+"""
+
+from repro.cache.keys import (
+    Uncacheable,
+    analysis_key,
+    fingerprint,
+    structure_key,
+    system_key,
+)
+from repro.cache.serde import (
+    Unserializable,
+    algorithm_from_payload,
+    algorithm_to_payload,
+    analysis_result_from_payload,
+    analysis_result_to_payload,
+    condition_from_payload,
+    condition_to_payload,
+    decode_obj,
+    encode_obj,
+)
+from repro.cache.store import (
+    ENV_DIR,
+    SCHEMA_VERSION,
+    ArtifactCache,
+    default_cache_root,
+    resolve_cache,
+)
+
+__all__ = [
+    "ENV_DIR",
+    "SCHEMA_VERSION",
+    "ArtifactCache",
+    "Uncacheable",
+    "Unserializable",
+    "algorithm_from_payload",
+    "algorithm_to_payload",
+    "analysis_key",
+    "analysis_result_from_payload",
+    "analysis_result_to_payload",
+    "condition_from_payload",
+    "condition_to_payload",
+    "decode_obj",
+    "default_cache_root",
+    "encode_obj",
+    "fingerprint",
+    "resolve_cache",
+    "structure_key",
+    "system_key",
+]

@@ -1,0 +1,156 @@
+"""Canonical fingerprints for cacheable analysis inputs.
+
+A cache key must change whenever anything that can change the result
+changes, and *should* coincide for inputs that provably yield the same
+result.  Two canonicalizations do the work:
+
+* :func:`analysis_key` keys a whole program instance.  Loop-index and
+  statement names are erased (subscripts become coefficient rows over the
+  positional index order), symbolic offsets/bounds/guard values are
+  evaluated under the concrete binding (so ``p`` vs ``q`` as a parameter
+  name cannot split the cache), and array names are kept verbatim because
+  they appear in the result.  Method and screen settings are part of the
+  key; the *backend* deliberately is not -- scalar and batched engines
+  produce bit-identical results, so they share entries.
+* :func:`system_key` keys one per-pair subscript system by the row-style
+  Hermite normal form of the augmented matrix ``[A | b]``.  Two systems
+  with the same HNF generate the same row lattice, hence have identical
+  solution sets, so HNF-equal pairs may share one cached Diophantine
+  solve and candidate enumeration.
+
+Inputs with no exact canonical form (unknown condition subclasses, unbound
+parameters) raise :class:`Uncacheable`; callers skip the cache and compute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.cache.serde import (
+    Unserializable,
+    algorithm_to_payload,
+    condition_to_payload,
+)
+from repro.depanalysis.pairs import PointSet
+from repro.structures.conditions import And, Eq, Ne, Not, Or, _False, _True
+from repro.util.linalg import hermite_normal_form
+
+__all__ = [
+    "Uncacheable",
+    "fingerprint",
+    "analysis_key",
+    "structure_key",
+    "system_key",
+]
+
+
+class Uncacheable(ValueError):
+    """The input has no canonical key; compute without the cache."""
+
+
+def fingerprint(payload) -> str:
+    """SHA-256 over the canonical (sorted-key, compact) JSON of ``payload``."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _guard_payload(cond, binding) -> list:
+    """Condition payload with parameter values evaluated under ``binding``."""
+    try:
+        if isinstance(cond, _True):
+            return ["true"]
+        if isinstance(cond, _False):
+            return ["false"]
+        if isinstance(cond, Eq):
+            return ["eq", cond.axis, cond.value.evaluate(binding)]
+        if isinstance(cond, Ne):
+            return ["ne", cond.axis, cond.value.evaluate(binding)]
+        if isinstance(cond, And):
+            return ["and", sorted(_guard_payload(t, binding) for t in cond.terms)]
+        if isinstance(cond, Or):
+            return ["or", sorted(_guard_payload(t, binding) for t in cond.terms)]
+        if isinstance(cond, Not):
+            return ["not", _guard_payload(cond.term, binding)]
+        if isinstance(cond, PointSet):
+            return ["points", sorted(list(pt) for pt in cond.points), cond.offset]
+    except KeyError as exc:  # unbound parameter
+        raise Uncacheable(f"guard mentions unbound parameter: {exc}") from exc
+    raise Uncacheable(f"guard condition {type(cond).__name__} has no canonical form")
+
+
+def _access_payload(access, order, binding) -> dict:
+    try:
+        return {
+            "array": access.array,
+            "rows": [e.coeff_vector(order) for e in access.subscripts],
+            "offsets": [e.offset.evaluate(binding) for e in access.subscripts],
+        }
+    except KeyError as exc:
+        raise Uncacheable(f"subscript mentions unbound parameter: {exc}") from exc
+
+
+def analysis_key(program, binding, method: str, use_screens: bool) -> str:
+    """Content-address one ``analyze()`` call (program instance + method)."""
+    try:
+        bounds = program.index_set.bounds(binding)
+    except KeyError as exc:
+        raise Uncacheable(f"bounds mention unbound parameter: {exc}") from exc
+    order = program.index_names
+    payload = {
+        "kind": "analysis",
+        "method": method,
+        # The enumerate method never screens; canonicalize so both flag
+        # values hit the same entry there.
+        "use_screens": bool(use_screens) if method == "exact" else True,
+        "bounds": [[lo, hi] for lo, hi in bounds],
+        "statements": [
+            {
+                "write": _access_payload(s.write, order, binding),
+                "reads": [_access_payload(r, order, binding) for r in s.reads],
+                "guard": _guard_payload(s.guard, binding),
+            }
+            for s in program.statements
+        ],
+    }
+    return fingerprint(payload)
+
+
+def structure_key(word, arith_name: str, expansion_key: str, p) -> str:
+    """Content-address one symbolic Theorem 3.1 composition.
+
+    ``word`` is the word-level :class:`~repro.structures.algorithm.Algorithm`
+    (serialized exactly, symbolic bounds and validity conditions included),
+    ``arith_name``/``expansion_key`` the registered arithmetic structure and
+    expansion, ``p`` the symbolic-or-``None`` stage count.
+    """
+    try:
+        word_payload = algorithm_to_payload(word)
+        for vec in word.dependences:
+            # Validity must be canonically serializable too (checked above via
+            # algorithm_to_payload); nothing extra needed here.
+            condition_to_payload(vec.validity)
+    except Unserializable as exc:
+        raise Uncacheable(str(exc)) from exc
+    payload = {
+        "kind": "theorem31",
+        "word": word_payload,
+        "arith": arith_name,
+        "expansion": expansion_key,
+        "p": None if p is None else repr(p),
+    }
+    return fingerprint(payload)
+
+
+def system_key(a_rows, rhs) -> tuple:
+    """In-memory memo key for one subscript system ``A z = b``.
+
+    The row-HNF of ``[A | b]`` identifies the row lattice of the system:
+    HNF-equal systems have identical integer solution sets (each one's rows
+    are integer combinations of the other's), so they can share one solve.
+    """
+    if not a_rows:
+        return ("sys", 0, tuple(rhs))
+    aug = [list(row) + [int(b)] for row, b in zip(a_rows, rhs)]
+    h, _u = hermite_normal_form(aug)
+    return ("sys", tuple(tuple(r) for r in h if any(r)))

@@ -1,0 +1,212 @@
+"""The on-disk artifact store.
+
+Content-addressed JSON files under a versioned root::
+
+    <root>/v1/<kind>/<key[:2]>/<key>.json
+
+``<root>`` defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; the
+``v<SCHEMA_VERSION>`` level invalidates everything at once when payload
+shapes change (bump :data:`SCHEMA_VERSION`, old dirs become dead weight
+that ``repro cache clear`` removes).  Writes are atomic (temp file +
+``os.replace``), reads touch the entry's mtime so the byte-cap eviction
+in :meth:`ArtifactCache.put` is LRU, and any unreadable/corrupt entry is
+treated as a miss and deleted.  The store is best-effort throughout: I/O
+errors disable the affected operation, never the caller.
+
+Library code resolves whether to cache via :func:`resolve_cache`: an
+explicit ``True``/``False`` wins, ``None`` means "enabled iff
+``REPRO_CACHE_DIR`` is set", so plain library calls never write to
+``~/.cache`` unless the user opted in (the ``repro analyze`` CLI flips
+the default to on).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro import obs
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ENV_DIR",
+    "ArtifactCache",
+    "default_cache_root",
+    "resolve_cache",
+]
+
+SCHEMA_VERSION = 1
+ENV_DIR = "REPRO_CACHE_DIR"
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def default_cache_root() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get(ENV_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+class ArtifactCache:
+    """Content-addressed persistent cache with an LRU byte cap."""
+
+    __slots__ = ("base", "root", "max_bytes", "hits", "misses", "evictions")
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        self.base = pathlib.Path(root) if root is not None else default_cache_root()
+        self.root = self.base / f"v{SCHEMA_VERSION}"
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    # -- core operations ------------------------------------------------------
+    def get(self, kind: str, key: str):
+        """The stored payload, or ``None`` on miss (corrupt entries vanish)."""
+        path = self._path(kind, key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            obs.count("cache.misses")
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            obs.count("cache.misses")
+            return None
+        try:
+            os.utime(path)  # recency for LRU eviction
+        except OSError:
+            pass
+        self.hits += 1
+        obs.count("cache.hits")
+        return payload
+
+    def put(self, kind: str, key: str, payload) -> None:
+        """Atomically store ``payload`` (JSON), then enforce the byte cap."""
+        path = self._path(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                # No sort_keys: dict insertion order is part of the exact
+                # round-trip contract (e.g. AnalysisResult.stats ordering).
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            return  # best-effort: an unwritable cache must not fail the caller
+        obs.count("cache.writes")
+        self._evict()
+
+    # -- maintenance ----------------------------------------------------------
+    def _entries(self) -> list[tuple[pathlib.Path, os.stat_result]]:
+        out = []
+        try:
+            for path in self.root.rglob("*.json"):
+                try:
+                    out.append((path, path.stat()))
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return out
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        total = sum(st.st_size for _, st in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda e: e[1].st_mtime)  # oldest access first
+        for path, st in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= st.st_size
+            self.evictions += 1
+            obs.count("cache.evictions")
+
+    def stats(self) -> dict:
+        """Snapshot of the on-disk store (entry/byte counts per kind)."""
+        entries = self._entries()
+        kinds: dict[str, int] = {}
+        for path, _st in entries:
+            try:
+                kind = path.relative_to(self.root).parts[0]
+            except (ValueError, IndexError):
+                kind = "?"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "root": str(self.base),
+            "schema_version": SCHEMA_VERSION,
+            "entries": len(entries),
+            "bytes": sum(st.st_size for _, st in entries),
+            "max_bytes": self.max_bytes,
+            "kinds": dict(sorted(kinds.items())),
+        }
+
+    def clear(self) -> int:
+        """Remove every versioned cache dir under the base; returns entries
+        removed.  Only ``v*`` subdirectories are touched, so pointing
+        ``REPRO_CACHE_DIR`` at a shared directory cannot lose user data."""
+        import shutil
+
+        removed = 0
+        try:
+            version_dirs = [
+                d for d in self.base.glob("v*") if d.is_dir()
+            ]
+        except OSError:
+            return 0
+        for vdir in version_dirs:
+            removed += sum(1 for _ in vdir.rglob("*.json"))
+            shutil.rmtree(vdir, ignore_errors=True)
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache({str(self.base)!r}, {self.hits} hits, "
+            f"{self.misses} misses)"
+        )
+
+
+def resolve_cache(
+    enabled: bool | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> ArtifactCache | None:
+    """Resolve the caching policy to a store (or ``None`` = disabled).
+
+    ``enabled=None`` enables the cache iff an explicit ``cache_dir`` is
+    given or ``$REPRO_CACHE_DIR`` is set -- library calls never touch
+    ``~/.cache`` without an opt-in.
+    """
+    if enabled is None:
+        enabled = cache_dir is not None or bool(os.environ.get(ENV_DIR))
+    if not enabled:
+        return None
+    return ArtifactCache(cache_dir)

@@ -16,19 +16,37 @@ verification to see if the integer solutions are inside the index set"):
 * :mod:`repro.depanalysis.analyzer` -- the public entry point
   :func:`~repro.depanalysis.analyzer.analyze`, including a fast
   hash-join oracle (``method="enumerate"``) used to cross-check the exact
-  analyzer and to validate Theorem 3.1 on concrete instances.
+  analyzer and to validate Theorem 3.1 on concrete instances;
+* :mod:`repro.depanalysis.engine` -- the vectorized engine: batched
+  GCD/Banerjee screening, block candidate enumeration, the batched
+  hash-join, backend resolution (``REPRO_ANALYSIS_BACKEND``), and the
+  persistent artifact cache (see :mod:`repro.cache` and
+  ``docs/ANALYSIS.md``).  Both backends are bit-identical to the scalar
+  reference.
 """
 
 from repro.depanalysis.pairs import AnalysisResult, DependenceInstance, PointSet
 from repro.depanalysis.gcdtest import gcd_test
 from repro.depanalysis.banerjee import banerjee_test
 from repro.depanalysis.analyzer import analyze
+from repro.depanalysis.engine import (
+    AnalysisConfig,
+    BACKENDS,
+    default_backend,
+    resolve_backend,
+    run_analysis,
+)
 
 __all__ = [
+    "AnalysisConfig",
     "AnalysisResult",
+    "BACKENDS",
     "DependenceInstance",
     "PointSet",
-    "gcd_test",
-    "banerjee_test",
     "analyze",
+    "banerjee_test",
+    "default_backend",
+    "gcd_test",
+    "resolve_backend",
+    "run_analysis",
 ]

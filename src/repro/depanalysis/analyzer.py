@@ -15,7 +15,6 @@
 from __future__ import annotations
 
 from repro import obs
-from repro.depanalysis.exact import analyze_exact
 from repro.depanalysis.pairs import AnalysisResult, DependenceInstance
 from repro.ir.program import LoopNest
 from repro.structures.params import ParamBinding
@@ -80,6 +79,7 @@ def analyze(
     binding: ParamBinding,
     method: str = "exact",
     use_screens: bool = True,
+    config: "AnalysisConfig | None" = None,
 ) -> AnalysisResult:
     """Analyze a program instance for cross-iteration flow dependences.
 
@@ -94,9 +94,15 @@ def analyze(
         (hash-join oracle).
     use_screens:
         For ``method="exact"``: whether to apply GCD/Banerjee screening.
+    config:
+        Engine configuration (:class:`repro.depanalysis.engine.AnalysisConfig`):
+        backend selection (scalar vs batched; default ``auto``) and the
+        persistent artifact cache policy.  ``None`` uses the environment
+        defaults (``REPRO_ANALYSIS_BACKEND`` / ``REPRO_CACHE_DIR``); all
+        backends produce bit-identical results.
     """
-    if method == "exact":
-        return analyze_exact(program, binding, use_screens=use_screens)
-    if method == "enumerate":
-        return analyze_enumerate(program, binding)
-    raise ValueError(f"unknown analysis method {method!r}")
+    from repro.depanalysis.engine import run_analysis
+
+    return run_analysis(
+        program, binding, method=method, use_screens=use_screens, config=config
+    )

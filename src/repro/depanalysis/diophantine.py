@@ -22,7 +22,11 @@ from typing import Iterator, Sequence
 
 from repro.util.intmath import ceil_div, floor_div
 
-__all__ = ["bounded_lattice_points", "UnboundedLatticeError"]
+__all__ = [
+    "bounded_lattice_points",
+    "lattice_intervals",
+    "UnboundedLatticeError",
+]
 
 _INF = None  # sentinel for an unbounded interval end
 
@@ -161,6 +165,90 @@ def _algebraic_bounds(
     return out
 
 
+def _prepare(
+    particular: Sequence[int],
+    basis: Sequence[Sequence[int]],
+    bounds: Sequence[tuple[int, int]],
+) -> tuple[list, list] | None:
+    """Constraint rows + tightened per-direction intervals for ``t̄``.
+
+    Returns ``(rows, intervals)`` with every interval finite, or ``None``
+    when the system is infeasible (a fixed coordinate violates the box or
+    propagation finds a contradiction).  Raises
+    :class:`UnboundedLatticeError` when the lattice is genuinely unbounded.
+    Requires ``len(basis) > 0``.
+    """
+    n = len(particular)
+    m = len(basis)
+
+    # Row form: lo_i - p_i <= sum_k basis[k][i] * t_k <= hi_i - p_i.
+    rows = []
+    for i in range(n):
+        coeffs = [int(basis[k][i]) for k in range(m)]
+        if all(c == 0 for c in coeffs):
+            lo, hi = bounds[i]
+            if not (lo <= particular[i] <= hi):
+                return None  # the fixed coordinate violates the box
+            continue
+        rows.append(
+            (coeffs, bounds[i][0] - particular[i], bounds[i][1] - particular[i])
+        )
+
+    intervals: list[list] = [[_INF, _INF] for _ in range(m)]
+    if not _tighten(intervals, rows):
+        return None
+    if any(lo is _INF or hi is _INF for lo, hi in intervals):
+        # Propagation stalled (it needs all-but-one variable of some row
+        # already bounded); fall back to algebraic bounds from an
+        # invertible row submatrix, then intersect and re-tighten.
+        algebraic = _algebraic_bounds(rows, m)
+        if algebraic is None:
+            k = next(
+                k for k, (lo, hi) in enumerate(intervals)
+                if lo is _INF or hi is _INF
+            )
+            raise UnboundedLatticeError(
+                f"lattice direction t_{k} is not bounded by the box constraints"
+            )
+        for iv, (alo, ahi) in zip(intervals, algebraic):
+            if iv[0] is _INF or alo > iv[0]:
+                iv[0] = alo
+            if iv[1] is _INF or ahi < iv[1]:
+                iv[1] = ahi
+            if iv[0] > iv[1]:
+                return None
+        if not _tighten(intervals, rows):
+            return None
+    return rows, intervals
+
+
+def lattice_intervals(
+    particular: Sequence[int],
+    basis: Sequence[Sequence[int]],
+    bounds: Sequence[tuple[int, int]],
+) -> list[tuple[int, int]] | None:
+    """Sound finite intervals confining every feasible ``t̄`` direction.
+
+    Every solution of ``particular + B t̄ ∈ box`` has
+    ``intervals[k][0] <= t_k <= intervals[k][1]`` (the converse need not
+    hold -- the box of intervals over-approximates the feasible polytope).
+    Returns ``None`` when there are provably no solutions; raises
+    :class:`UnboundedLatticeError` when a direction cannot be bounded.
+    This is the entry point the batched analysis engine uses to enumerate
+    candidate blocks as a dense grid instead of by branch-and-prune.
+    """
+    n = len(particular)
+    if len(bounds) != n:
+        raise ValueError("bounds length must match solution dimension")
+    if not basis:
+        return []
+    prep = _prepare(particular, basis, bounds)
+    if prep is None:
+        return None
+    _rows, intervals = prep
+    return [(iv[0], iv[1]) for iv in intervals]
+
+
 def bounded_lattice_points(
     particular: Sequence[int],
     basis: Sequence[Sequence[int]],
@@ -183,44 +271,10 @@ def bounded_lattice_points(
             yield x
         return
 
-    # Row form: lo_i - p_i <= sum_k basis[k][i] * t_k <= hi_i - p_i.
-    rows = []
-    for i in range(n):
-        coeffs = [int(basis[k][i]) for k in range(m)]
-        if all(c == 0 for c in coeffs):
-            lo, hi = bounds[i]
-            if not (lo <= particular[i] <= hi):
-                return  # the fixed coordinate violates the box: no solutions
-            continue
-        rows.append(
-            (coeffs, bounds[i][0] - particular[i], bounds[i][1] - particular[i])
-        )
-
-    intervals: list[list] = [[_INF, _INF] for _ in range(m)]
-    if not _tighten(intervals, rows):
+    prep = _prepare(particular, basis, bounds)
+    if prep is None:
         return
-    if any(lo is _INF or hi is _INF for lo, hi in intervals):
-        # Propagation stalled (it needs all-but-one variable of some row
-        # already bounded); fall back to algebraic bounds from an
-        # invertible row submatrix, then intersect and re-tighten.
-        algebraic = _algebraic_bounds(rows, m)
-        if algebraic is None:
-            k = next(
-                k for k, (lo, hi) in enumerate(intervals)
-                if lo is _INF or hi is _INF
-            )
-            raise UnboundedLatticeError(
-                f"lattice direction t_{k} is not bounded by the box constraints"
-            )
-        for iv, (alo, ahi) in zip(intervals, algebraic):
-            if iv[0] is _INF or alo > iv[0]:
-                iv[0] = alo
-            if iv[1] is _INF or ahi < iv[1]:
-                iv[1] = ahi
-            if iv[0] > iv[1]:
-                return
-        if not _tighten(intervals, rows):
-            return
+    rows, intervals = prep
 
     def recurse(assign: list[int | None], intervals: list[list]) -> Iterator[list[int]]:
         # Pick the unassigned variable with the narrowest range.

@@ -24,32 +24,57 @@ __all__ = ["DependenceInstance", "PointSet", "AnalysisResult"]
 
 
 class PointSet(Condition):
-    """An extensional validity condition: a finite set of concrete points."""
+    """An extensional validity condition: a finite set of concrete points.
 
-    __slots__ = ("points",)
+    ``offset`` re-axes the set the way ``Eq.shift_axes`` re-axes an
+    intensional condition: a set recorded over axes ``0..w-1`` shifted by
+    ``k`` holds at a point of a wider space iff the slice
+    ``point[k : k + w]`` is a member.  This is what lets extensional
+    validity domains survive :meth:`DependenceVector.prefixed` when a
+    word-level matrix is embedded into a product index set.
+    """
 
-    def __init__(self, points: Iterable[Sequence[int]]):
+    __slots__ = ("points", "offset", "_width")
+
+    def __init__(self, points: Iterable[Sequence[int]], offset: int = 0):
         self.points = frozenset(tuple(int(x) for x in pt) for pt in points)
+        if offset < 0:
+            raise ValueError(f"negative axis offset {offset}")
+        self.offset = int(offset)
+        widths = {len(pt) for pt in self.points}
+        if len(widths) > 1:
+            raise ValueError(f"mixed point widths {sorted(widths)}")
+        self._width = widths.pop() if widths else 0
 
     def holds(self, point: Sequence[int], binding: ParamBinding) -> bool:
-        return tuple(point) in self.points
+        if not self.points:
+            return False
+        probe = tuple(point)
+        if self.offset:
+            probe = probe[self.offset:self.offset + self._width]
+        return probe in self.points
 
     def shift_axes(self, offset: int) -> Condition:
-        raise NotImplementedError("extensional point sets cannot be re-axed")
+        return PointSet(self.points, offset=self.offset + offset)
 
     def params(self) -> frozenset[str]:
         return frozenset()
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, PointSet) and self.points == other.points
+        return (
+            isinstance(other, PointSet)
+            and self.points == other.points
+            and self.offset == other.offset
+        )
 
     def __hash__(self) -> int:
-        return hash(self.points)
+        return hash((self.points, self.offset))
 
     def __repr__(self) -> str:
+        suffix = f", offset={self.offset}" if self.offset else ""
         if len(self.points) <= 4:
-            return f"PointSet({sorted(self.points)})"
-        return f"PointSet(<{len(self.points)} points>)"
+            return f"PointSet({sorted(self.points)}{suffix})"
+        return f"PointSet(<{len(self.points)} points>{suffix})"
 
 
 class DependenceInstance:

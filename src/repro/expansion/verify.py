@@ -64,9 +64,44 @@ def effective_edges(
     algorithm: Algorithm, binding: ParamBinding
 ) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
     """All ``(sink, vector)`` pairs with a valid vector whose source is inside
-    the index set -- the extensional content of a dependence structure."""
-    out = set()
+    the index set -- the extensional content of a dependence structure.
+
+    When numpy is available and the index set is a plain box, each
+    dependence vector is resolved over the whole point block at once
+    (validity via :func:`repro.depanalysis.engine.condition_mask`, source
+    membership via array comparisons), which is what lets Theorem 3.1
+    cross-validation scale to ``u = p = 16``.  A subclassed index set (e.g.
+    a constrained one) falls back to the per-point loop.
+    """
+    from repro.depanalysis import engine as _engine
+    from repro.structures.indexset import IndexSet
+
     index_set = algorithm.index_set
+    out: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+    if _engine.HAVE_NUMPY and type(index_set) is IndexSet:
+        import numpy as np
+
+        bounds = index_set.bounds(binding)
+        if (
+            index_set.dim > 0
+            and index_set.size(binding) <= 1 << 23
+            and (not bounds
+                 or max(max(abs(lo), abs(hi)) for lo, hi in bounds) < 1 << 62)
+        ):
+            pts = _engine.box_lattice(bounds)
+            lo = np.asarray([b[0] for b in bounds], dtype=np.int64)
+            hi = np.asarray([b[1] for b in bounds], dtype=np.int64)
+            for vec in algorithm.dependences:
+                d = np.asarray(
+                    [int(x) for x in vec.vector], dtype=np.int64
+                )
+                src = pts - d
+                mask = np.all((src >= lo) & (src <= hi), axis=1)
+                mask &= _engine.condition_mask(vec.validity, pts, binding)
+                vtuple = tuple(int(x) for x in vec.vector)
+                for row in pts[mask]:
+                    out.add((tuple(int(x) for x in row), vtuple))
+            return out
     for point in index_set.points(binding):
         for vec in algorithm.dependences.valid_vectors_at(point, binding):
             src = tuple(x - d for x, d in zip(point, vec.vector))
@@ -84,6 +119,7 @@ def verify_theorem31(
     p: int,
     expansion: str = "II",
     method: str = "enumerate",
+    config=None,
 ) -> VerificationReport:
     """Cross-validate Theorem 3.1 for one concrete model (3.5) instance.
 
@@ -98,6 +134,9 @@ def verify_theorem31(
     method:
         Which analyzer backend to run on the explicit program
         (``"enumerate"`` or ``"exact"``).
+    config:
+        Optional :class:`repro.depanalysis.engine.AnalysisConfig` for the
+        analysis leg (engine backend + persistent-cache policy).
     """
     word = word_model_structure(h1, h2, h3, lowers, uppers)
     compositional = bit_level_structure(word, "add-shift", expansion, p)
@@ -105,7 +144,7 @@ def verify_theorem31(
     predicted = effective_edges(compositional, binding)
 
     program = expand_bit_level(h1, h2, h3, lowers, uppers, p, expansion)
-    result = analyze(program, binding, method=method)
+    result = analyze(program, binding, method=method, config=config)
     observed = {(inst.sink, inst.vector) for inst in result.instances}
 
     missing = sorted(predicted - observed)

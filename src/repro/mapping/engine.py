@@ -88,6 +88,14 @@ class SearchConfig:
         that appear later in catalog order; pass ``None`` (or
         ``max_candidates=None``) to scan the whole catalog.  The default
         of 4 preserves the historical trade-off.
+    persist_cache:
+        Persist the run-scoped :class:`~repro.mapping.memo.EvalCache`
+        across runs through the artifact store (:mod:`repro.cache`): the
+        shared memo entry is loaded before the scan and the merged table
+        saved after it.  ``None`` (default) enables persistence iff
+        ``$REPRO_CACHE_DIR`` is set; memo keys are canonical values, so
+        entries are valid across any search configuration.  Only the
+        main process's table is persisted under ``workers > 1``.
     """
 
     target_space_dim: int = 2
@@ -97,6 +105,7 @@ class SearchConfig:
     require_busy: bool = True
     workers: int = 1
     overcollect: int | None = 4
+    persist_cache: bool | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -385,6 +394,46 @@ def _iter_parallel(
 
 
 # ---------------------------------------------------------------------------
+# Cross-run memo persistence
+# ---------------------------------------------------------------------------
+
+_MEMO_KIND = "mapping-memo"
+_MEMO_KEY = "shared"
+
+
+def _load_memo(store, cache: EvalCache) -> None:
+    """Seed ``cache`` from the shared persisted memo entry (best-effort)."""
+    from repro.cache import Unserializable, decode_obj
+
+    payload = store.get(_MEMO_KIND, _MEMO_KEY)
+    if not isinstance(payload, list):
+        return
+    loaded = 0
+    for entry in payload:
+        try:
+            key, value = entry
+            cache.data[decode_obj(key)] = decode_obj(value)
+            loaded += 1
+        except (Unserializable, TypeError, ValueError):
+            continue
+    obs.count("mapping.memo_loaded", loaded)
+
+
+def _save_memo(store, cache: EvalCache) -> None:
+    """Persist ``cache`` (already merged with the loaded entries)."""
+    from repro.cache import Unserializable, encode_obj
+
+    payload = []
+    for key, value in cache.data.items():
+        try:
+            payload.append([encode_obj(key), encode_obj(value)])
+        except Unserializable:
+            continue
+    store.put(_MEMO_KIND, _MEMO_KEY, payload)
+    obs.count("mapping.memo_saved", len(payload))
+
+
+# ---------------------------------------------------------------------------
 # The engine entry point and the public API
 # ---------------------------------------------------------------------------
 
@@ -436,6 +485,13 @@ def run_search(
             require_busy=config.require_busy,
             cache=EvalCache(),
         )
+        store = None
+        if config.persist_cache is not False:
+            from repro.cache import resolve_cache
+
+            store = resolve_cache(config.persist_cache, None)
+            if store is not None:
+                _load_memo(store, ctx.cache)
         if config.workers <= 1 or len(spaces) <= 1 or not schedules:
             feasible = _iter_sequential(spaces, ctx, config.stop_after)
         else:
@@ -458,6 +514,8 @@ def run_search(
         if config.max_candidates is not None:
             found = found[:config.max_candidates]
         obs.count("mapping.designs_found", len(found))
+        if store is not None and ctx.cache.misses:
+            _save_memo(store, ctx.cache)
     return found
 
 

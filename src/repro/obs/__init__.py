@@ -50,6 +50,7 @@ __all__ = [
     "count_many",
     "current_span",
     "enabled",
+    "environment_info",
     "gauge",
     "get_registry",
     "metrics_dict",
@@ -99,6 +100,44 @@ def set_registry(registry: Registry | None) -> Registry | None:
 def enabled() -> bool:
     """True when an ambient registry is installed."""
     return _ACTIVE is not None
+
+
+def environment_info() -> dict:
+    """Hardware/software provenance for benchmark and metrics reports.
+
+    Captures what a reader needs to interpret recorded timings -- CPU
+    count, interpreter, platform, numpy version and the git commit --
+    without failing anywhere: unavailable fields come back ``None``.
+    """
+    import os
+    import platform
+
+    info = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        import numpy
+
+        info["numpy"] = numpy.__version__
+    except ImportError:
+        info["numpy"] = None
+    try:
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        info["commit"] = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        info["commit"] = None
+    return info
 
 
 @contextmanager

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.depanalysis.engine import AnalysisConfig
 from repro.expansion.expansions import Expansion, get_expansion
 from repro.expansion.theorem31 import bit_level_from_vectors
 from repro.expansion.verify import VerificationReport, verify_theorem31
@@ -50,6 +51,8 @@ class BitLevelDesigner:
     p: int
     arithmetic: str = "add-shift"
     expansion: str | Expansion = "II"
+    #: engine backend + persistent-cache policy for the analysis steps
+    analysis: AnalysisConfig | None = None
     _structure: Algorithm | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -66,6 +69,7 @@ class BitLevelDesigner:
             self._structure = bit_level_from_vectors(
                 self.h1, self.h2, self.h3, self.lowers, self.uppers,
                 self.p, self.expansion.key, self.arithmetic,
+                config=self.analysis,
             )
         return self._structure
 
@@ -84,6 +88,7 @@ class BitLevelDesigner:
             list(self.h1), list(self.h2), list(self.h3),
             list(self.lowers), list(self.uppers),
             self.p, self.expansion.key, method=method,
+            config=self.analysis,
         )
 
     # -- step 3: mapping ----------------------------------------------------

@@ -6,6 +6,9 @@ against independent implementations on randomized inputs:
 * :mod:`repro.verify.oracle_theorem31` -- the O(1) compositional bit-level
   dependence structure (Theorem 3.1) vs. brute-force dependence analysis
   of the expanded program;
+* :mod:`repro.verify.oracle_analysis` -- the batched (vectorized) analysis
+  engine vs. the scalar reference: identical instances and statistics on
+  randomized programs;
 * :mod:`repro.verify.oracle_mapping` -- Definition 4.1 feasibility verdicts
   vs. exhaustive per-condition rechecking on the concrete index set;
 * :mod:`repro.verify.oracle_simulator` -- bit-level machine executions vs.
@@ -18,10 +21,12 @@ See ``docs/VERIFY.md``.
 
 from repro.verify.generator import (
     HAVE_HYPOTHESIS,
+    AnalysisCase,
     MappingCase,
     SimulatorCase,
     SizeEnvelope,
     Theorem31Case,
+    gen_analysis_case,
     gen_mapping_case,
     gen_simulator_case,
     gen_theorem31_case,
@@ -39,9 +44,11 @@ __all__ = [
     "HAVE_HYPOTHESIS",
     "SizeEnvelope",
     "Theorem31Case",
+    "AnalysisCase",
     "MappingCase",
     "SimulatorCase",
     "gen_theorem31_case",
+    "gen_analysis_case",
     "gen_mapping_case",
     "gen_simulator_case",
     "Counterexample",

@@ -38,11 +38,13 @@ __all__ = [
     "HAVE_HYPOTHESIS",
     "SizeEnvelope",
     "Theorem31Case",
+    "AnalysisCase",
     "MappingCase",
     "SimulatorCase",
     "lex_positive",
     "random_word_vector",
     "gen_theorem31_case",
+    "gen_analysis_case",
     "gen_mapping_case",
     "gen_simulator_case",
     "word_vector_strategy",
@@ -186,6 +188,86 @@ def gen_theorem31_case(
         p=rng.randint(env.min_p, env.max_p),
         expansion=rng.choice(("I", "II")),
         method=method,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analysis-engine cases
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AnalysisCase:
+    """One expanded bit-level program for the scalar-vs-batched engine oracle.
+
+    The same model-(3.5) shape as :class:`Theorem31Case`, but here the two
+    sides of the differential check are the two *backends* of
+    :mod:`repro.depanalysis.engine` on one program: the batched (vectorized)
+    engine must reproduce the scalar reference bit-for-bit -- same instance
+    list, same statistics counters.
+    """
+
+    h1: tuple[int, ...]
+    h2: tuple[int, ...]
+    h3: tuple[int, ...]
+    lowers: tuple[int, ...]
+    uppers: tuple[int, ...]
+    p: int
+    expansion: str
+    #: analyzer method compared across backends
+    method: str = "enumerate"
+    #: exercise the GCD/Banerjee screens (method="exact" only)
+    use_screens: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def build_program(self):
+        """The explicit bit-level loop nest this case analyzes."""
+        from repro.ir.expand import expand_bit_level
+
+        return expand_bit_level(
+            self.h1, self.h2, self.h3, self.lowers, self.uppers,
+            self.p, self.expansion,
+        )
+
+    def shrink_candidates(self) -> Iterator["AnalysisCase"]:
+        for axis, hi in enumerate(self.uppers):
+            for smaller in _shrink_int(hi, self.lowers[axis]):
+                uppers = list(self.uppers)
+                uppers[axis] = smaller
+                yield replace(self, uppers=tuple(uppers))
+        for smaller in _shrink_int(self.p, 2):
+            yield replace(self, p=smaller)
+        for name in ("h1", "h2", "h3"):
+            for vec in _shrink_vector(getattr(self, name), lex_positive):
+                yield replace(self, **{name: vec})
+        if not self.use_screens:
+            yield replace(self, use_screens=True)
+
+
+def gen_analysis_case(
+    rng: random.Random, env: SizeEnvelope = SizeEnvelope()
+) -> AnalysisCase:
+    """Draw a random engine-equivalence case inside the envelope."""
+    dim = rng.choice(env.word_dims)
+    uppers = tuple(rng.randint(2, env.max_extent) for _ in range(dim))
+    # The exact analyzer is the expensive leg; sample it mostly on the
+    # smallest programs, the hash-join everywhere.
+    r = rng.random()
+    if (dim == 1 and r < 0.5) or (dim == 2 and r < 0.15):
+        method = "exact"
+    else:
+        method = "enumerate"
+    return AnalysisCase(
+        h1=random_word_vector(rng, dim, env.max_step),
+        h2=random_word_vector(rng, dim, env.max_step),
+        h3=random_word_vector(rng, dim, env.max_step),
+        lowers=(1,) * dim,
+        uppers=uppers,
+        p=rng.randint(env.min_p, env.max_p),
+        expansion=rng.choice(("I", "II")),
+        method=method,
+        use_screens=rng.random() < 0.8,
     )
 
 

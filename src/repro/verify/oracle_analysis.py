@@ -1,0 +1,64 @@
+"""Oracle: the batched dependence-analysis engine vs. the scalar reference.
+
+For one random expanded bit-level program, run :func:`repro.depanalysis.analyze`
+twice -- once with ``backend="scalar"``, once with ``backend="batched"`` --
+with the persistent cache disabled on both sides, and demand bit-identical
+results: the same ordered list of dependence instances *and* the same
+statistics counters (pairs tested, screens pruned, systems solved, points
+visited, ...).  This is the contract the vectorized engine advertises; any
+divergence is a bug in one of the two implementations.
+
+When numpy is unavailable the batched backend silently resolves to scalar
+and the check degenerates to a self-comparison, which is the intended
+no-numpy behavior.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.verify.generator import AnalysisCase, SizeEnvelope, gen_analysis_case
+
+__all__ = ["NAME", "generate", "check"]
+
+NAME = "analysis"
+
+
+def generate(rng: random.Random, envelope: SizeEnvelope) -> AnalysisCase:
+    return gen_analysis_case(rng, envelope)
+
+
+def check(case: AnalysisCase) -> str | None:
+    """Return a divergence description, or ``None`` when backends agree."""
+    from repro.depanalysis.analyzer import analyze
+    from repro.depanalysis.engine import AnalysisConfig
+
+    program = case.build_program()
+    binding = {"p": case.p}
+    results = {}
+    for backend in ("scalar", "batched"):
+        results[backend] = analyze(
+            program, binding, method=case.method,
+            use_screens=case.use_screens,
+            config=AnalysisConfig(backend=backend, cache=False),
+        )
+    scalar, batched = results["scalar"], results["batched"]
+    s_keys = [inst.key() for inst in scalar.instances]
+    b_keys = [inst.key() for inst in batched.instances]
+    if s_keys != b_keys:
+        only_s = sorted(set(s_keys) - set(b_keys))
+        only_b = sorted(set(b_keys) - set(s_keys))
+        return (
+            f"instance divergence ({case.method}): "
+            f"{len(s_keys)} scalar vs {len(b_keys)} batched; "
+            f"scalar-only (first 3): {only_s[:3]}; "
+            f"batched-only (first 3): {only_b[:3]}"
+        )
+    if scalar.stats != batched.stats:
+        diff = {
+            k: (scalar.stats.get(k), batched.stats.get(k))
+            for k in sorted(set(scalar.stats) | set(batched.stats))
+            if scalar.stats.get(k) != batched.stats.get(k)
+        }
+        return f"stats divergence ({case.method}): scalar vs batched {diff}"
+    return None

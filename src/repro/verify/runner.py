@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro import obs
-from repro.verify import oracle_mapping, oracle_simulator, oracle_theorem31
+from repro.verify import (
+    oracle_analysis,
+    oracle_mapping,
+    oracle_simulator,
+    oracle_theorem31,
+)
 from repro.verify.generator import SizeEnvelope
 from repro.verify.report import Counterexample, OracleOutcome, VerifyReport
 from repro.verify.shrink import shrink
@@ -37,7 +42,9 @@ __all__ = [
 #: name -> oracle module (each exports NAME, generate, check)
 ORACLES = {
     module.NAME: module
-    for module in (oracle_theorem31, oracle_mapping, oracle_simulator)
+    for module in (
+        oracle_theorem31, oracle_analysis, oracle_mapping, oracle_simulator
+    )
 }
 
 
@@ -51,7 +58,7 @@ class VerifyConfig:
     #: wall-clock budget per oracle in seconds (None = unbounded)
     budget_s: float | None = None
     #: which oracles to run, in order
-    oracles: Sequence[str] = ("theorem31", "mapping", "simulator")
+    oracles: Sequence[str] = ("theorem31", "analysis", "mapping", "simulator")
     envelope: SizeEnvelope = field(default_factory=SizeEnvelope)
     max_shrink_steps: int = 200
     #: stop an oracle after this many counterexamples (they are near-certainly

@@ -1,0 +1,303 @@
+"""Tests for the persistent artifact cache: serde, keys, store, policy.
+
+A cache hit must be indistinguishable from a recomputation, so the tests
+here demand *exact* round-trips (equal and equal-hashing objects), stable
+content-addressed keys under renaming, and end-to-end parity between
+cached and uncached analysis runs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    SCHEMA_VERSION,
+    Uncacheable,
+    Unserializable,
+    algorithm_from_payload,
+    algorithm_to_payload,
+    analysis_key,
+    analysis_result_from_payload,
+    analysis_result_to_payload,
+    condition_from_payload,
+    condition_to_payload,
+    decode_obj,
+    encode_obj,
+    resolve_cache,
+    structure_key,
+    system_key,
+)
+from repro.depanalysis import AnalysisConfig, analyze
+from repro.expansion.theorem31 import bit_level_structure, matmul_bit_level
+from repro.ir import builders
+from repro.ir.builders import word_model_structure
+from repro.ir.expand import expand_bit_level
+
+
+class TestTaggedCodec:
+    CASES = [
+        None,
+        True,
+        7,
+        "s",
+        (1, 2),
+        [1, (2, 3), "x"],
+        {"k": (1, [2])},
+        {(1, 2): [3, (4,)]},
+        ("lattice", ((1, 0), (0, 1)), ((-2, 2), (-2, 2)), None),
+    ]
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_round_trip(self, value):
+        encoded = encode_obj(value)
+        json.dumps(encoded)  # must be JSON-safe
+        assert decode_obj(encoded) == value
+
+    def test_tuple_list_distinction(self):
+        assert decode_obj(encode_obj((1, 2))) == (1, 2)
+        assert decode_obj(encode_obj([1, 2])) == [1, 2]
+        assert type(decode_obj(encode_obj((1, 2)))) is tuple
+        assert type(decode_obj(encode_obj([1, 2]))) is list
+
+    def test_unencodable(self):
+        with pytest.raises(Unserializable):
+            encode_obj(object())
+
+
+class TestStructureSerde:
+    def test_condition_round_trip(self):
+        alg = matmul_bit_level(3, 3, "II")
+        for vec in alg.dependences:
+            back = condition_from_payload(condition_to_payload(vec.validity))
+            assert back == vec.validity
+            assert hash(back) == hash(vec.validity)
+
+    @pytest.mark.parametrize("expansion", ["I", "II"])
+    def test_algorithm_round_trip(self, expansion):
+        alg = matmul_bit_level(2, 3, expansion)
+        payload = algorithm_to_payload(alg)
+        json.dumps(payload)
+        back = algorithm_from_payload(payload)
+        assert back.index_set == alg.index_set
+        assert list(back.dependences) == list(alg.dependences)
+        assert back.name == alg.name
+        assert back.computations.statements == alg.computations.statements
+
+    def test_semantics_not_cacheable(self):
+        prog = builders.matmul_pipelined(2)
+        alg = word_model_structure([1, 0], [0, 1], [1, 1], [1, 1], [3, 3])
+        del prog
+        object.__setattr__  # silence lint: attribute poke below is the test
+        alg.computations.semantics = lambda *a: None
+        with pytest.raises(Unserializable):
+            algorithm_to_payload(alg)
+
+    def test_analysis_result_round_trip(self):
+        result = analyze(builders.matmul_pipelined(3), {"u": 3}, "exact",
+                         config=AnalysisConfig(cache=False))
+        payload = analysis_result_to_payload(result)
+        json.dumps(payload)
+        back = analysis_result_from_payload(payload)
+        assert [i.key() for i in back.instances] == [
+            i.key() for i in result.instances
+        ]
+        assert back.stats == result.stats
+
+
+class TestKeys:
+    def test_analysis_key_stable_under_renaming(self):
+        a = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        b = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        assert analysis_key(a, {}, "exact", True) == \
+            analysis_key(b, {}, "exact", True)
+
+    def test_analysis_key_separates_method_and_screens(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        keys = {
+            analysis_key(prog, {}, "exact", True),
+            analysis_key(prog, {}, "exact", False),
+            analysis_key(prog, {}, "enumerate", True),
+        }
+        assert len(keys) == 3
+
+    def test_enumerate_ignores_screens_flag(self):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        assert analysis_key(prog, {}, "enumerate", True) == \
+            analysis_key(prog, {}, "enumerate", False)
+
+    def test_analysis_key_binding_sensitivity(self):
+        prog = builders.addshift_pipelined(None)
+        assert analysis_key(prog, {"p": 3}, "exact", True) != \
+            analysis_key(prog, {"p": 4}, "exact", True)
+
+    def test_unbound_param_uncacheable(self):
+        prog = builders.addshift_pipelined(None)
+        with pytest.raises(Uncacheable):
+            analysis_key(prog, {}, "exact", True)
+
+    def test_structure_key_depends_on_inputs(self):
+        word = word_model_structure([0, 1, 0], [1, 0, 0], [0, 0, 1],
+                                    [1, 1, 1], [3, 3, 3])
+        base = structure_key(word, "add-shift", "II", 3)
+        assert base == structure_key(word, "add-shift", "II", 3)
+        assert base != structure_key(word, "add-shift", "I", 3)
+        assert base != structure_key(word, "add-shift", "II", 4)
+        assert base != structure_key(word, "carry-save", "II", 3)
+
+    def test_system_key_hnf_canonical(self):
+        # Row-equivalent systems share a key: [j1 - j2 = 1] written two ways.
+        a = system_key(((1, -1), (2, -2)), (1, 2))
+        b = system_key(((1, -1),), (1,))
+        assert a == b
+        assert system_key(((1, -1),), (1,)) != system_key(((1, -1),), (2,))
+
+
+class TestStore:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("k", "ab" * 32) is None
+        cache.put("k", "ab" * 32, {"x": [1, 2]})
+        assert cache.get("k", "ab" * 32) == {"x": [1, 2]}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_layout_versioned(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("analysis", "deadbeef", 1)
+        path = tmp_path / f"v{SCHEMA_VERSION}" / "analysis" / "de"
+        assert (path / "deadbeef.json").exists()
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", "feedface", [1])
+        path = cache._path("k", "feedface")
+        path.write_text("{not json")
+        assert cache.get("k", "feedface") is None
+        assert not path.exists()
+
+    def test_lru_eviction(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=1)
+        cache.put("k", "aa1", list(range(50)))
+        cache.put("k", "bb2", list(range(50)))
+        # Cap of one byte: the eviction pass leaves at most one entry.
+        assert cache.stats()["entries"] <= 1
+        assert cache.evictions >= 1
+
+    def test_eviction_is_lru(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=10**9)
+        cache.put("k", "old1", list(range(50)))
+        cache.put("k", "new2", list(range(50)))
+        os.utime(cache._path("k", "old1"), (1, 1))  # force "old" recency
+        cache.max_bytes = cache.stats()["bytes"] - 1
+        cache.put("k", "cc3", [1])
+        remaining = {p.stem for p, _ in cache._entries()}
+        assert "old1" not in remaining
+        assert "new2" in remaining
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("analysis", "aa", 1)
+        cache.put("structure", "bb", 2)
+        st = cache.stats()
+        assert st["entries"] == 2
+        assert st["kinds"] == {"analysis": 1, "structure": 1}
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_clear_only_touches_versioned_dirs(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", "aa", 1)
+        keep = tmp_path / "user-data.txt"
+        keep.write_text("precious")
+        cache.clear()
+        assert keep.read_text() == "precious"
+
+
+class TestPolicy:
+    def test_disabled_by_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None, None) is None
+
+    def test_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = resolve_cache(None, None)
+        assert cache is not None and cache.base == tmp_path
+
+    def test_explicit_dir_enables(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None, tmp_path) is not None
+
+    def test_false_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache(False, None) is None
+
+
+class TestEndToEnd:
+    def _config(self, tmp_path, backend=None):
+        return AnalysisConfig(backend=backend, cache=True, cache_dir=tmp_path)
+
+    @pytest.mark.parametrize("method", ["exact", "enumerate"])
+    def test_analysis_cache_parity(self, tmp_path, method):
+        prog = expand_bit_level([0, 1], [1, 0], [0, 1], [1, 1], [2, 2], 2,
+                                "II")
+        config = self._config(tmp_path)
+        cold = analyze(prog, {"p": 2}, method, config=config)
+        warm = analyze(prog, {"p": 2}, method, config=config)
+        uncached = analyze(prog, {"p": 2}, method,
+                           config=AnalysisConfig(cache=False))
+        for other in (warm, uncached):
+            assert [i.key() for i in cold.instances] == [
+                i.key() for i in other.instances
+            ]
+            assert cold.stats == other.stats
+            # Exact round-trip includes dict key *order*, not just equality.
+            assert list(cold.stats) == list(other.stats)
+
+    def test_cache_shared_across_backends(self, tmp_path):
+        # The entry is keyed on the problem, not the backend: a scalar run
+        # warms the cache for a batched one.
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        analyze(prog, {}, "exact",
+                config=self._config(tmp_path, backend="scalar"))
+        cache = ArtifactCache(tmp_path)
+        assert cache.stats()["entries"] == 1
+        analyze(prog, {}, "exact",
+                config=self._config(tmp_path, backend="batched"))
+        assert ArtifactCache(tmp_path).stats()["entries"] == 1
+
+    def test_structure_cache_round_trip(self, tmp_path):
+        word = word_model_structure([0, 1, 0], [1, 0, 0], [0, 0, 1],
+                                    [1, 1, 1], [3, 3, 3])
+        config = AnalysisConfig(cache=True, cache_dir=tmp_path)
+        cold = bit_level_structure(word, "add-shift", "II", 3, config=config)
+        assert ArtifactCache(tmp_path).stats()["kinds"] == {"structure": 1}
+        warm = bit_level_structure(word, "add-shift", "II", 3, config=config)
+        assert list(warm.dependences) == list(cold.dependences)
+        assert warm.index_set == cold.index_set
+        assert warm.name == cold.name
+
+    def test_corrupted_analysis_entry_recomputed(self, tmp_path):
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        config = self._config(tmp_path)
+        cold = analyze(prog, {}, "exact", config=config)
+        cache = ArtifactCache(tmp_path)
+        (path, _stat), = cache._entries()
+        path.write_text(json.dumps({"wrong": "shape"}))
+        again = analyze(prog, {}, "exact", config=config)
+        assert [i.key() for i in again.instances] == [
+            i.key() for i in cold.instances
+        ]
+
+    def test_cache_obs_counters(self, tmp_path):
+        from repro import obs
+
+        prog = expand_bit_level([1], [1], [1], [1], [3], 2, "II")
+        config = self._config(tmp_path)
+        with obs.collecting() as reg:
+            analyze(prog, {}, "exact", config=config)
+            analyze(prog, {}, "exact", config=config)
+        counters = dict(reg.counters)
+        assert counters.get("cache.misses") == 1
+        assert counters.get("cache.writes") == 1
+        assert counters.get("cache.hits") == 1

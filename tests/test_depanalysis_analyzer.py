@@ -97,9 +97,31 @@ class TestPointSet:
         assert PointSet([(1,)]) == PointSet([(1,)])
         assert len({PointSet([(1,)]), PointSet([(1,)])}) == 1
 
-    def test_shift_unsupported(self):
-        with pytest.raises(NotImplementedError):
-            PointSet([(1,)]).shift_axes(1)
+    def test_shift_axes(self):
+        # A shifted point set tests the *suffix* of the probe point: the
+        # set {(2, 3)} shifted by 1 holds at any (x, 2, 3).
+        ps = PointSet([(2, 3)]).shift_axes(1)
+        assert ps.offset == 1
+        assert ps.holds((9, 2, 3), {})
+        assert not ps.holds((2, 3, 9), {})
+
+    def test_shift_axes_composes(self):
+        ps = PointSet([(5,)]).shift_axes(1).shift_axes(2)
+        assert ps.offset == 3
+        assert ps.holds((0, 0, 0, 5), {})
+
+    def test_shift_axes_equality_and_repr(self):
+        assert PointSet([(1,)]).shift_axes(2) == PointSet([(1,)], offset=2)
+        assert PointSet([(1,)], offset=2) != PointSet([(1,)])
+        assert "offset=2" in repr(PointSet([(1,)], offset=2))
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            PointSet([(1,)], offset=-1)
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(ValueError):
+            PointSet([(1,), (1, 2)])
 
     def test_no_params(self):
         assert PointSet([(1,)]).params() == frozenset()
