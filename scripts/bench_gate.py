@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""CI entry point for the benchmark regression gate.
+
+Thin wrapper over :mod:`repro.obs.regress` that works from a plain
+checkout (adds ``src/`` to ``sys.path`` when the package is not
+installed).  See ``python scripts/bench_gate.py --help``.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    from repro.obs import regress
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.obs import regress
+
+if __name__ == "__main__":
+    raise SystemExit(regress.main())

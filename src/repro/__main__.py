@@ -13,10 +13,12 @@ Usage::
 
 Every subcommand honors the global observability flags (before or after the
 subcommand name): ``--metrics-out FILE`` writes the flat metrics dict as
-JSON, ``--trace FILE`` writes a JSON-lines span trace, and either one also
-prints a human-readable trace tree to stderr unless ``--quiet-metrics`` is
-given.  Without these flags no registry is installed and output is exactly
-the uninstrumented program's.
+JSON, ``--trace FILE`` writes a span trace (``--trace-format jsonl`` for
+JSON-lines, ``chrome`` for a Chrome trace-event / Perfetto file with
+per-process tracks and counter tracks), and either one also prints a
+human-readable trace tree -- plus live progress lines while the run goes
+-- to stderr unless ``--quiet-metrics`` is given.  Without these flags no
+registry is installed and output is exactly the uninstrumented program's.
 """
 
 from __future__ import annotations
@@ -201,6 +203,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"(cap {st['max_bytes']:,})")
         for kind, count in st["kinds"].items():
             print(f"  {kind}: {count} entries")
+        sess = st["session"]
+        print(f"this process: {sess['hits']} hits, {sess['misses']} misses, "
+              f"{sess['evictions']} evictions")
+        from repro import obs
+
+        obs.gauge("cache.bytes_on_disk", st["bytes"])
+        obs.gauge("cache.entries", st["entries"])
         return 0
     removed = cache.clear()
     print(f"cleared {removed} entries under {cache.base}")
@@ -258,7 +267,13 @@ def _obs_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
     suppress = argparse.SUPPRESS
     parser.add_argument(
         "--trace", metavar="FILE", default=None if top_level else suppress,
-        help="write a JSON-lines span trace to FILE",
+        help="write a span trace to FILE (see --trace-format)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"],
+        default="jsonl" if top_level else suppress,
+        help="trace file format: JSON-lines (default) or Chrome "
+        "trace-event/Perfetto JSON",
     )
     parser.add_argument(
         "--metrics-out", metavar="FILE", default=None if top_level else suppress,
@@ -417,6 +432,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress_line(event: dict) -> None:
+    """Render one bus ``progress`` event as a stderr status line."""
+    done, total = event["done"], event["total"]
+    parts = [
+        f"[{event['name']}] {done}" + (f"/{total}" if total is not None else "")
+    ]
+    rate = event.get("rate")
+    if rate:
+        parts.append(f"{rate:.1f}/s")
+    eta = event.get("eta_s")
+    if eta is not None:
+        parts.append(f"eta {eta:.1f}s")
+    if event.get("final"):
+        parts.append("done")
+    print("  ".join(parts), file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if not (args.trace or args.metrics_out):
@@ -425,11 +457,21 @@ def main(argv: list[str] | None = None) -> int:
     from repro import obs
 
     with obs.collecting() as reg:
+        ring = None
+        if args.trace and args.trace_format == "chrome":
+            # Buffer bus events so the exporter can rebuild counter tracks.
+            ring = obs.RingBufferSink()
+            reg.add_sink(ring)
+        if args.trace and not args.quiet_metrics:
+            reg.add_sink(obs.CallbackSink(_progress_line, kinds={"progress"}))
         with reg.span(f"cli.{args.command}"):
             rc = args.fn(args)
         try:
             if args.trace:
-                obs.write_trace(reg, args.trace)
+                if args.trace_format == "chrome":
+                    obs.write_chrome_trace(reg, args.trace, ring.events)
+                else:
+                    obs.write_trace(reg, args.trace)
             if args.metrics_out:
                 obs.write_metrics(reg, args.metrics_out)
         except OSError as exc:

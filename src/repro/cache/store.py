@@ -119,6 +119,10 @@ class ArtifactCache:
         except (OSError, TypeError, ValueError):
             return  # best-effort: an unwritable cache must not fail the caller
         obs.count("cache.writes")
+        try:
+            obs.count("cache.put_bytes", path.stat().st_size)
+        except OSError:
+            pass
         self._evict()
 
     # -- maintenance ----------------------------------------------------------
@@ -137,19 +141,19 @@ class ArtifactCache:
     def _evict(self) -> None:
         entries = self._entries()
         total = sum(st.st_size for _, st in entries)
-        if total <= self.max_bytes:
-            return
-        entries.sort(key=lambda e: e[1].st_mtime)  # oldest access first
-        for path, st in entries:
-            if total <= self.max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= st.st_size
-            self.evictions += 1
-            obs.count("cache.evictions")
+        if total > self.max_bytes:
+            entries.sort(key=lambda e: e[1].st_mtime)  # oldest access first
+            for path, st in entries:
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= st.st_size
+                self.evictions += 1
+                obs.count("cache.evictions")
+        obs.gauge("cache.bytes_on_disk", total)
 
     def stats(self) -> dict:
         """Snapshot of the on-disk store (entry/byte counts per kind)."""
@@ -168,6 +172,11 @@ class ArtifactCache:
             "bytes": sum(st.st_size for _, st in entries),
             "max_bytes": self.max_bytes,
             "kinds": dict(sorted(kinds.items())),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            },
         }
 
     def clear(self) -> int:

@@ -402,7 +402,11 @@ def analyze_exact_batched(
             survivor_idx = list(range(len(pairs)))
 
         solve_memo: dict = {}
+        progress = obs.progress(
+            "depanalysis.candidate_blocks", total=len(survivor_idx)
+        )
         for pi in survivor_idx:
+            progress.advance()
             w_stmt, write, r_stmt, read = pairs[pi]
             a_rows: list[list[int]] = []
             rhs: list[int] = []
@@ -453,6 +457,7 @@ def analyze_exact_batched(
                         "flow" if lex_pos[i] else "reversed",
                     )
                 )
+        progress.close()
     stats["instances"] = len(instances)
     if reg is not None:
         reg.count_many(stats, prefix="depanalysis.")

@@ -50,7 +50,9 @@ def run(
     config = AnalysisConfig(backend=backend, cache=False)
     rows = []
     all_ok = True
+    progress = reg.progress("e7.cases", total=len(cases))
     for u, p in cases:
+        progress.advance()
         h1, h2, h3 = _MATMUL_H
         program = expand_bit_level(h1, h2, h3, [1, 1, 1], [u, u, u], p, "II")
 
@@ -82,6 +84,7 @@ def run(
                 agree,
             )
         )
+    progress.close()
     return {
         "rows": rows,
         "ok": all_ok,

@@ -249,6 +249,13 @@ def emit_machine_metrics(reg, result: SimulationResult, store) -> None:
     for pos, n in result.pe_busy.items():
         label = ",".join(str(x) for x in pos)
         reg.gauge(f"machine.pe_busy.{label}", n)
+    if reg.sinks and result.busy_per_step:
+        # Busy-PE count per beat as a bus series: the Chrome exporter
+        # turns it into a utilization counter track (beat timebase).
+        reg.emit_series(
+            "machine.busy_pes",
+            sorted(result.busy_per_step.items()),
+        )
 
 
 class SpaceTimeSimulator:

@@ -271,28 +271,36 @@ def _evaluate_space(
 
     Walks the shared time-sorted schedule list and returns the first ``Π``
     whose full feasibility check (including conflict-freedom with this
-    specific ``S``) passes.
+    specific ``S``) passes.  The walk runs under a
+    ``mapping.evaluate_space`` span -- the per-candidate trace unit that
+    worker processes ship back in their registry deltas, so sequential and
+    parallel runs produce the same span structure.
     """
-    for _, pi in ctx.schedules:
-        mapping = MappingMatrix(space + [list(pi)])
-        if ctx.require_busy and not mapping.entries_coprime():
-            obs.count("mapping.pruned.coprime_precheck")
-            continue
-        report = check_feasibility(
-            mapping, ctx.algorithm, ctx.binding, ctx.primitives,
-            cache=ctx.cache,
-        )
-        if report.feasible:
-            return list(pi), report
+    with obs.span("mapping.evaluate_space"):
+        for _, pi in ctx.schedules:
+            mapping = MappingMatrix(space + [list(pi)])
+            if ctx.require_busy and not mapping.entries_coprime():
+                obs.count("mapping.pruned.coprime_precheck")
+                continue
+            report = check_feasibility(
+                mapping, ctx.algorithm, ctx.binding, ctx.primitives,
+                cache=ctx.cache,
+            )
+            if report.feasible:
+                return list(pi), report
     return None
 
 
 def _iter_sequential(
-    spaces: list[list[list[int]]], ctx: _EvalContext, cap: int | None
+    spaces: list[list[list[int]]],
+    ctx: _EvalContext,
+    cap: int | None,
+    progress=obs.NULL_PROGRESS,
 ) -> Iterator[tuple[list[list[int]], list[int], FeasibilityReport]]:
     yielded = 0
     for space in spaces:
         result = _evaluate_space(space, ctx)
+        progress.advance()
         if result is None:
             continue
         yield space, result[0], result[1]
@@ -310,10 +318,16 @@ def _iter_sequential(
 #: the memo cache persists across the chunks a worker processes.
 _WORKER_CTX: _EvalContext | None = None
 
+#: Whether the parent had telemetry enabled when the pool was created;
+#: workers only pay for per-candidate registries (and ship deltas back)
+#: when someone is collecting.
+_WORKER_TELEMETRY: bool = False
+
 
 def _worker_init(payload: tuple) -> None:
-    global _WORKER_CTX
-    algorithm, binding, primitives, schedules, require_busy = payload
+    global _WORKER_CTX, _WORKER_TELEMETRY
+    (algorithm, binding, primitives, schedules, require_busy,
+     telemetry) = payload
     _WORKER_CTX = _EvalContext(
         algorithm=algorithm,
         binding=binding,
@@ -322,26 +336,41 @@ def _worker_init(payload: tuple) -> None:
         require_busy=require_busy,
         cache=EvalCache(),
     )
+    _WORKER_TELEMETRY = telemetry
 
 
 def _eval_chunk(
     chunk: list[tuple[int, list[list[int]]]],
-) -> tuple[list[tuple[int, list[int], FeasibilityReport]], dict[str, int]]:
+) -> list[tuple[int, list[int] | None, FeasibilityReport | None, dict | None]]:
     """Evaluate a chunk of (index, space) candidates in a worker process.
 
-    Returns feasible results tagged with their candidate index plus the
-    obs counters accumulated while evaluating the chunk (merged into the
-    parent's registry for a single coherent metrics export).
+    With telemetry on, every candidate is evaluated under its own
+    registry and returns ``(index, pi, report, delta)`` -- ``pi``/
+    ``report`` are ``None`` for infeasible candidates, and ``delta`` is
+    the candidate's full registry delta (counters, histograms, the
+    ``mapping.evaluate_space`` span tree).  Per-candidate deltas let the
+    parent merge telemetry in catalog order and stop merging exactly at
+    the early-stop point, so aggregate metrics match the sequential scan
+    even though workers evaluate speculatively past it.
+
+    With telemetry off, only feasible candidates are returned (with
+    ``delta=None``) and no registries are created.
     """
     ctx = _WORKER_CTX
     assert ctx is not None, "worker used before initialization"
-    out: list[tuple[int, list[int], FeasibilityReport]] = []
-    with obs.collecting() as reg:
-        for index, space in chunk:
+    out: list[tuple[int, list[int] | None, FeasibilityReport | None,
+                    dict | None]] = []
+    for index, space in chunk:
+        if _WORKER_TELEMETRY:
+            with obs.collecting() as reg:
+                result = _evaluate_space(space, ctx)
+            pi, report = result if result is not None else (None, None)
+            out.append((index, pi, report, reg.delta()))
+        else:
             result = _evaluate_space(space, ctx)
             if result is not None:
-                out.append((index, result[0], result[1]))
-    return out, dict(reg.counters)
+                out.append((index, result[0], result[1], None))
+    return out
 
 
 def _structural_copy(algorithm: Algorithm) -> Algorithm:
@@ -360,13 +389,16 @@ def _iter_parallel(
     ctx: _EvalContext,
     workers: int,
     cap: int | None,
+    progress=obs.NULL_PROGRESS,
 ) -> Iterator[tuple[list[list[int]], list[int], FeasibilityReport]]:
+    telemetry = obs.enabled()
     payload = (
         _structural_copy(ctx.algorithm),
         ctx.binding,
         ctx.primitives,
         ctx.schedules,
         ctx.require_busy,
+        telemetry,
     )
     indexed = list(enumerate(spaces))
     # Small chunks keep the pool busy near the early-stop point without
@@ -376,15 +408,25 @@ def _iter_parallel(
     chunks = [
         indexed[i:i + chunk_size] for i in range(0, len(indexed), chunk_size)
     ]
+    reg = obs.get_registry()
     yielded = 0
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_init, initargs=(payload,)
     ) as pool:
         futures = [pool.submit(_eval_chunk, chunk) for chunk in chunks]
         for future in futures:
-            results, counters = future.result()
-            obs.count_many(counters)
-            for index, pi, report in results:
+            # Futures are consumed (and per-candidate deltas merged) in
+            # catalog order, and the merge stops at the candidate that
+            # fills the early-stop cap -- exactly the prefix the
+            # sequential scan would have evaluated -- so aggregate
+            # metrics are identical for every worker count (up to the
+            # worker-local cache's hit/miss split, whose sum is stable).
+            for index, pi, report, delta in future.result():
+                if reg is not None and delta is not None:
+                    reg.merge_delta(delta)
+                    progress.advance()
+                if pi is None:
+                    continue
                 yield spaces[index], pi, report
                 yielded += 1
                 if cap is not None and yielded >= cap:
@@ -492,24 +534,29 @@ def run_search(
             store = resolve_cache(config.persist_cache, None)
             if store is not None:
                 _load_memo(store, ctx.cache)
-        if config.workers <= 1 or len(spaces) <= 1 or not schedules:
-            feasible = _iter_sequential(spaces, ctx, config.stop_after)
-        else:
-            feasible = _iter_parallel(
-                spaces, ctx, config.workers, config.stop_after
-            )
-        for space, pi, report in feasible:
-            mapping = MappingMatrix(space + [pi], name=f"T-search-{len(found)}")
-            found.append(
-                DesignCandidate(
-                    mapping=mapping,
-                    time=time_of[tuple(pi)],
-                    processors=processor_count(
-                        mapping, algorithm.index_set, binding
-                    ),
-                    report=report,
+        with obs.progress("mapping.spaces", total=len(spaces)) as progress:
+            if config.workers <= 1 or len(spaces) <= 1 or not schedules:
+                feasible = _iter_sequential(
+                    spaces, ctx, config.stop_after, progress
                 )
-            )
+            else:
+                feasible = _iter_parallel(
+                    spaces, ctx, config.workers, config.stop_after, progress
+                )
+            for space, pi, report in feasible:
+                mapping = MappingMatrix(
+                    space + [pi], name=f"T-search-{len(found)}"
+                )
+                found.append(
+                    DesignCandidate(
+                        mapping=mapping,
+                        time=time_of[tuple(pi)],
+                        processors=processor_count(
+                            mapping, algorithm.index_set, binding
+                        ),
+                        report=report,
+                    )
+                )
         found.sort(key=lambda c: (c.time, c.processors))
         if config.max_candidates is not None:
             found = found[:config.max_candidates]

@@ -32,19 +32,34 @@ import functools
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.obs.bus import (
+    NULL_PROGRESS,
+    CallbackSink,
+    JsonlSink,
+    Progress,
+    RingBufferSink,
+)
 from repro.obs.core import Histogram, Registry, Span
 from repro.obs.export import (
+    chrome_trace_events,
     metrics_dict,
     render_tree,
     trace_lines,
+    write_chrome_trace,
     write_metrics,
     write_trace,
 )
 
 __all__ = [
+    "CallbackSink",
     "Histogram",
+    "JsonlSink",
+    "NULL_PROGRESS",
+    "Progress",
     "Registry",
+    "RingBufferSink",
     "Span",
+    "chrome_trace_events",
     "collecting",
     "count",
     "count_many",
@@ -55,11 +70,13 @@ __all__ = [
     "get_registry",
     "metrics_dict",
     "observe",
+    "progress",
     "render_tree",
     "set_registry",
     "span",
     "trace_lines",
     "traced",
+    "write_chrome_trace",
     "write_metrics",
     "write_trace",
 ]
@@ -196,6 +213,18 @@ def current_span() -> Span | None:
     """The innermost open ambient span, if any."""
     reg = _ACTIVE
     return reg.current_span() if reg is not None else None
+
+
+def progress(name: str, total: int | None = None, **kw):
+    """A live progress tracker on the ambient registry.
+
+    Returns a shared no-op when collection is disabled, so loops can call
+    ``advance()`` unconditionally.
+    """
+    reg = _ACTIVE
+    if reg is None:
+        return NULL_PROGRESS
+    return reg.progress(name, total, **kw)
 
 
 def traced(name: str | None = None) -> Callable:

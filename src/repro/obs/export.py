@@ -1,6 +1,7 @@
-"""Exporters: human-readable span tree, JSON-lines trace, metrics JSON.
+"""Exporters: human-readable span tree, JSON-lines trace, metrics JSON,
+Chrome trace-event file.
 
-Three views of one :class:`~repro.obs.core.Registry`:
+Four views of one :class:`~repro.obs.core.Registry`:
 
 * :func:`render_tree` -- an indented wall-time tree plus metric tables,
   meant for a human reading stderr after a run;
@@ -8,14 +9,21 @@ Three views of one :class:`~repro.obs.core.Registry`:
   (id/parent-id/name/start/end/attrs) followed by a ``metrics`` footer
   record, i.e. a JSON-lines file a script can replay;
 * :func:`metrics_dict` / :func:`write_metrics` -- the flat metrics dict
-  (counters, gauges, histogram aggregates, per-span-name wall times).
+  (counters, gauges, histogram aggregates, per-span-name wall times);
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` -- the Chrome
+  trace-event (Perfetto) format: spans become ``"X"`` complete events on
+  per-process tracks, bus counter/gauge events become ``"C"`` counter
+  tracks, and ``series`` events (e.g. the simulator's busy-PE timeline)
+  become counter tracks on a synthetic track of their own.  The output is
+  one JSON array, loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.obs.core import Registry, Span
 
@@ -25,6 +33,8 @@ __all__ = [
     "trace_lines",
     "write_trace",
     "write_metrics",
+    "chrome_trace_events",
+    "write_chrome_trace",
 ]
 
 
@@ -69,9 +79,14 @@ def render_tree(registry: Registry) -> str:
         lines.append("== histograms ==")
         for name in sorted(registry.histograms):
             h = registry.histograms[name]
+            quantiles = " ".join(
+                f"p{q}={h.percentile(q):g}" for q in (50, 90, 99)
+                if h.percentile(q) is not None
+            )
             lines.append(
                 f"{name}  n={h.count} mean={h.mean:g} min={h.min:g} "
                 f"max={h.max:g} sum={h.total:g}"
+                + (f" {quantiles}" if quantiles else "")
             )
     return "\n".join(lines)
 
@@ -111,3 +126,142 @@ def write_metrics(registry: Registry, path: str | pathlib.Path) -> None:
     pathlib.Path(path).write_text(
         json.dumps(metrics_dict(registry), indent=2, sort_keys=True) + "\n"
     )
+
+
+#: Synthetic pid hosting caller-timebase ``series`` tracks (beat-indexed
+#: timelines like PE utilization, which live on their own clock).
+_SERIES_PID = 0
+
+
+def chrome_trace_events(
+    registry: Registry,
+    events: Iterable[dict] | None = None,
+) -> list[dict]:
+    """The registry (plus optional bus events) as Chrome trace events.
+
+    Spans become ``"X"`` complete events grouped into per-process tracks:
+    each root span carries the originating pid in its attrs when it was
+    grafted from a worker delta (see
+    :meth:`~repro.obs.core.Registry.merge_delta`), so a merged parallel
+    run renders as one parent track plus one track per worker process.
+    ``time.perf_counter`` reads ``CLOCK_MONOTONIC`` on Linux, which is
+    shared across processes, so worker timestamps land correctly relative
+    to the parent's; all timestamps are rebased to the earliest one and
+    scaled to microseconds.
+
+    ``events`` (typically a :class:`~repro.obs.bus.RingBufferSink`'s
+    buffer) contributes ``"C"`` counter samples for every counter/gauge
+    event -- cache hit/miss tracks, PE-utilization gauges -- and turns
+    ``series`` events into counter tracks on a synthetic process whose
+    timebase is the series' own (the simulator emits beats as
+    microseconds).
+
+    Every emitted event -- including ``"M"`` metadata and ``"C"`` counter
+    events, where the format itself would not require it -- carries the
+    full ``ts``/``dur``/``pid``/``tid``/``name`` key set; trace viewers
+    ignore the extras and downstream tooling gets a uniform schema.
+    """
+    span_rows: list[tuple[int, Span]] = []
+
+    def _collect(span: Span, inherited_pid: int) -> None:
+        # Grafted worker subtrees carry their origin pid on the subtree
+        # root (merge_delta stamps it); descendants inherit it.
+        pid = int(span.attrs.get("pid", inherited_pid))
+        span_rows.append((pid, span))
+        for child in span.children:
+            _collect(child, pid)
+
+    for root in registry.roots:
+        _collect(root, registry.pid)
+
+    bus_events = [dict(e) for e in events] if events is not None else []
+    starts = [span.start for _, span in span_rows]
+    starts.extend(
+        e["ts"] for e in bus_events
+        if e.get("type") in ("counter", "gauge") and "ts" in e
+    )
+    t0 = min(starts, default=0.0)
+
+    def _us(t: float) -> float:
+        return round((t - t0) * 1e6, 3)
+
+    out: list[dict] = []
+    track_names: dict[int, str] = {}
+
+    for pid, span in span_rows:
+        if pid not in track_names:
+            role = "parent" if pid == registry.pid else "worker"
+            track_names[pid] = f"{role} (pid {pid})"
+        end = span.end if span.end is not None else span.start
+        args = {str(k): v for k, v in span.attrs.items()}
+        out.append({
+            "ph": "X",
+            "cat": "span",
+            "name": span.name,
+            "ts": _us(span.start),
+            "dur": round(max(0.0, end - span.start) * 1e6, 3),
+            "pid": pid,
+            "tid": 1,
+            "args": args,
+        })
+
+    for event in bus_events:
+        kind = event.get("type")
+        if kind in ("counter", "gauge"):
+            pid = int(event.get("pid", registry.pid))
+            if pid not in track_names:
+                role = "parent" if pid == registry.pid else "worker"
+                track_names[pid] = f"{role} (pid {pid})"
+            out.append({
+                "ph": "C",
+                "cat": kind,
+                "name": event["name"],
+                "ts": _us(event["ts"]),
+                "dur": 0,
+                "pid": pid,
+                "tid": 1,
+                "args": {"value": event.get("value", 0)},
+            })
+        elif kind == "series":
+            track_names.setdefault(_SERIES_PID, "series (caller timebase)")
+            name = event["name"]
+            for t, value in event.get("points", ()):
+                out.append({
+                    "ph": "C",
+                    "cat": "series",
+                    "name": name,
+                    "ts": float(t),
+                    "dur": 0,
+                    "pid": _SERIES_PID,
+                    "tid": 1,
+                    "args": {"value": value},
+                })
+
+    out.sort(key=lambda e: (e["pid"], e["ts"]))
+    meta = [
+        {
+            "ph": "M",
+            "cat": "__metadata",
+            "name": "process_name",
+            "ts": 0,
+            "dur": 0,
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": label},
+        }
+        for pid, label in sorted(track_names.items())
+    ]
+    return meta + out
+
+
+def write_chrome_trace(
+    registry: Registry,
+    path: str | pathlib.Path,
+    events: Iterable[dict] | None = None,
+) -> None:
+    """Write the Chrome trace-event JSON array to ``path``."""
+    rows = chrome_trace_events(registry, events)
+    with open(path, "w") as fh:
+        fh.write("[\n")
+        fh.write(",\n".join(json.dumps(row, sort_keys=True) for row in rows))
+        fh.write("\n]\n")

@@ -79,6 +79,7 @@ def _run_oracle(
     rng = random.Random(f"{config.seed}:{module.NAME}")
     started = time.monotonic()
     found: list[Counterexample] = []
+    progress = obs.progress(f"verify.{module.NAME}", total=config.cases)
     for _ in range(config.cases):
         if (
             config.budget_s is not None
@@ -88,6 +89,7 @@ def _run_oracle(
             break
         case = module.generate(rng, config.envelope)
         outcome.cases_run += 1
+        progress.advance()
         obs.count(f"verify.{module.NAME}.cases")
         detail = module.check(case)
         if detail is None:
@@ -110,6 +112,7 @@ def _run_oracle(
         )
         if len(found) >= config.max_counterexamples:
             break
+    progress.close()
     outcome.elapsed_s = time.monotonic() - started
     return found
 

@@ -127,6 +127,46 @@ class TestObservabilityFlags:
             for r in records
         )
 
+    def test_search_chrome_trace_with_workers(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["search", "--u", "2", "--p", "2", "--workers", "2",
+             "--trace", str(trace_file), "--trace-format", "chrome",
+             "--quiet-metrics"]
+        ) == 0
+        rows = json.loads(trace_file.read_text())
+        assert isinstance(rows, list) and rows
+        for row in rows:
+            for key in ("ts", "dur", "pid", "tid", "name"):
+                assert key in row
+        span_pids = {r["pid"] for r in rows if r.get("ph") == "X"}
+        assert len(span_pids) >= 2  # parent + at least one worker track
+        names = {r["name"] for r in rows}
+        assert "cli.search" in names
+        assert "mapping.evaluate_space" in names
+
+    def test_simulate_chrome_trace_counter_tracks(self, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--u", "2", "--p", "2",
+             "--trace", str(trace_file), "--trace-format", "chrome",
+             "--quiet-metrics"]
+        ) == 0
+        rows = json.loads(trace_file.read_text())
+        counters = [r for r in rows if r.get("ph") == "C"]
+        assert any(r["name"].startswith("machine.pe_busy.") for r in counters)
+        assert any(r["name"] == "machine.busy_pes" for r in counters)
+
+    def test_trace_renders_progress_lines(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        assert main(
+            ["verify", "--seed", "0", "--cases", "3",
+             "--oracle", "theorem31", "--trace", str(trace_file)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[verify.theorem31] 3/3" in err
+        assert "done" in err
+
     def test_flags_accepted_before_subcommand(self, tmp_path):
         out_file = tmp_path / "m.json"
         assert main(
