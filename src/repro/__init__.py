@@ -37,6 +37,9 @@ Subpackages
 ``repro.machine``      systolic-array simulators (bit-level and word-level)
 ``repro.experiments``  harnesses regenerating every figure of the paper
 ``repro.verify``       differential verification (randomized oracles)
+``repro.cache``        persistent content-addressed artifact cache
+``repro.obs``          observability: metrics, spans, event bus
+``repro.serve``        async job server, thin client, unified JobSpec API
 """
 
 from repro.structures import (
@@ -60,14 +63,41 @@ from repro.mapping import (
     find_optimal_schedule,
     processor_count,
 )
-from repro.verify import (
-    VerifyConfig,
-    VerifyReport,
-    run_mutation_check,
-    run_verification,
-)
+from repro.verify import VerifyConfig, VerifyReport
+from repro.api import search_designs, simulate, verify_run
 
 __version__ = "1.0.0"
+
+# Old scattered import paths, kept alive behind DeprecationWarning shims
+# (the deprecated-kwargs pattern of repro.mapping.engine.search_designs,
+# applied to module attributes).  Maps old top-level name -> (module,
+# attribute, suggested replacement).
+_DEPRECATED_ALIASES = {
+    "run_verification": (
+        "repro.verify", "run_verification",
+        "repro.verify_run or repro.verify.run_verification",
+    ),
+    "run_mutation_check": (
+        "repro.verify", "run_mutation_check",
+        "repro.verify.run_mutation_check",
+    ),
+}
+
+
+def __getattr__(name):
+    alias = _DEPRECATED_ALIASES.get(name)
+    if alias is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    import warnings
+
+    module, attribute, replacement = alias
+    warnings.warn(
+        f"'repro.{name}' is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module), attribute)
 
 __all__ = [
     "Algorithm",
@@ -88,7 +118,8 @@ __all__ = [
     "processor_count",
     "VerifyConfig",
     "VerifyReport",
-    "run_verification",
-    "run_mutation_check",
+    "search_designs",
+    "simulate",
+    "verify_run",
     "__version__",
 ]

@@ -10,6 +10,15 @@ Usage::
     python -m repro analyze [options]         # general dependence analysis
     python -m repro cache stats|clear         # inspect the artifact cache
     python -m repro verify [options]          # differential oracle verification
+    python -m repro serve [options]           # run the async job server
+
+The ``analyze``, ``search``, ``simulate`` and ``verify`` subcommands are
+thin clients of the unified job dispatch (:mod:`repro.serve`): each one
+builds a frozen :class:`~repro.serve.jobs.JobSpec`, runs it through
+:func:`~repro.serve.dispatch.run_job` (or, with ``--server HOST:PORT``,
+ships it to a running ``repro serve`` instance), and prints the
+``JobResult``'s output -- which is byte-identical to what the subcommand
+printed before the dispatch existed.
 
 Every subcommand honors the global observability flags (before or after the
 subcommand name): ``--metrics-out FILE`` writes the flat metrics dict as
@@ -24,8 +33,29 @@ registry is installed and output is exactly the uninstrumented program's.
 from __future__ import annotations
 
 import argparse
-import random
 import sys
+
+
+def _dispatch(args: argparse.Namespace, spec) -> "object":
+    """Run ``spec`` locally or on ``--server``; returns the JobResult."""
+    server = getattr(args, "server", None)
+    if server:
+        from repro.serve import ServeClient
+
+        host, _, port = server.rpartition(":")
+        client = ServeClient(host=host or "127.0.0.1", port=int(port))
+        return client.run(spec)
+    from repro.serve.dispatch import run_job
+
+    return run_job(spec)
+
+
+def _finish(result) -> int:
+    """Print a JobResult the way the pre-dispatch CLI did."""
+    sys.stdout.write(result.output)
+    if result.error:
+        print(result.error.rstrip("\n"), file=sys.stderr)
+    return result.exit_code
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -67,129 +97,45 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.expansion.theorem31 import matmul_bit_level
-    from repro.experiments.tables import format_table
-    from repro.mapping import designs
-    from repro.mapping.engine import SearchConfig, run_search
-    from repro.mapping.interconnect import mesh_primitives
+    from repro.serve.jobs import JobSpec
 
-    alg = matmul_bit_level(args.u, args.p, expansion=args.expansion)
-    binding = {"u": args.u, "p": args.p}
-    primitives = {
-        "fig4": lambda: designs.fig4_primitives(args.p),
-        "fig5": lambda: designs.fig5_primitives(),
-        "mesh": lambda: mesh_primitives(args.target_dim),
-        "none": lambda: None,
-    }[args.primitives]()
-    config = SearchConfig(
+    spec = JobSpec(
+        kind="search", u=args.u, p=args.p, expansion=args.expansion,
         target_space_dim=args.target_dim,
-        block_values=args.block if args.block is not None else [args.p],
+        block=None if args.block is None else tuple(args.block),
         schedule_bound=args.schedule_bound,
-        max_candidates=None if args.exhaustive else args.max_candidates,
+        max_candidates=args.max_candidates,
         workers=args.workers,
-        overcollect=None if args.exhaustive else args.overcollect,
+        overcollect=args.overcollect,
+        exhaustive=args.exhaustive,
+        primitives=args.primitives,
     )
-    candidates = run_search(alg, binding, primitives, config)
-    if not candidates:
-        print("no feasible design within the search bounds")
-        return 1
-    rows = [
-        (i + 1, c.time, c.processors,
-         "; ".join(str(list(r)) for r in c.mapping.rows))
-        for i, c in enumerate(candidates)
-    ]
-    print(format_table(
-        ["rank", "time", "PEs", "T = [S; Π]"],
-        rows,
-        title=(f"design-space search: bit-level matmul "
-               f"(u={args.u}, p={args.p}, primitives={args.primitives}, "
-               f"workers={config.workers})"),
-    ))
-    return 0
+    return _finish(_dispatch(args, spec))
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.machine import BitLevelMatmulMachine
-    from repro.mapping import designs
-    from repro.render import render_gantt
+    from repro.serve.jobs import JobSpec
 
-    u, p = args.u, args.p
-    rng = random.Random(args.seed)
-    x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
-    y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
-    t = designs.fig5_mapping(p) if args.design == "fig5" else designs.fig4_mapping(p)
-    machine = BitLevelMatmulMachine(u, p, t, args.expansion, backend=args.backend)
-    run = machine.run(x, y)
-    mask = (1 << (2 * p - 1)) - 1
-    want = [
-        [sum(x[i][k] * y[k][j] for k in range(u)) & mask for j in range(u)]
-        for i in range(u)
-    ]
-    from repro.machine import resolve_backend
-
-    print(f"design={args.design} u={u} p={p} expansion={args.expansion} "
-          f"backend={resolve_backend(args.backend)}")
-    print(f"makespan: {run.sim.makespan}  PEs: {run.sim.processor_count}  "
-          f"utilization: {run.sim.mean_utilization:.1%}")
-    from repro import obs
-
-    if obs.enabled():
-        # Condition 5 of Definition 4.1, measured from the simulator's
-        # per-PE busy counters rather than asserted from coprimality.
-        print(f"condition 5 (some PE busy at every beat): {run.sim.always_busy}")
-        print("per-PE utilization:")
-        util = run.sim.pe_utilization()
-        for pos in sorted(run.sim.pe_busy):
-            busy = run.sim.pe_busy[pos]
-            print(f"  PE{pos}: {busy}/{run.sim.makespan} beats ({util[pos]:.1%})")
-        print(f"ValueStore: {run.sim.store_reads} reads, "
-              f"{run.sim.store_writes} writes")
-    print(f"product correct (mod 2^{2*p-1}): {run.product == want}")
-    if args.gantt:
-        from repro.machine.simulator import SpaceTimeSimulator
-
-        sim = SpaceTimeSimulator(
-            t, machine.algorithm, machine.binding, backend=args.backend
-        )
-        sim.run(lambda q, s: None)
-        print(render_gantt(sim.pes))
-    return 0 if run.product == want else 1
+    spec = JobSpec(
+        kind="simulate", u=args.u, p=args.p, expansion=args.expansion,
+        design=args.design, seed=args.seed, sim_backend=args.backend,
+        gantt=args.gantt,
+    )
+    return _finish(_dispatch(args, spec))
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    import time
+    from repro.serve.jobs import JobSpec
 
-    from repro.depanalysis.analyzer import analyze
-    from repro.depanalysis.engine import AnalysisConfig, resolve_backend
-    from repro.ir.expand import expand_bit_level
-
-    u, p = args.u, args.p
-    program = expand_bit_level(
-        [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [u, u, u], p,
-        args.expansion,
-    )
-    config = AnalysisConfig(
-        backend=args.backend,
+    spec = JobSpec(
+        kind="analyze", u=args.u, p=args.p, expansion=args.expansion,
+        method=args.method,
+        use_screens=not args.no_screens,
+        analysis_backend=args.backend,
         cache=not args.no_cache,  # this command defaults the cache to ON
         cache_dir=args.cache_dir,
     )
-    t0 = time.perf_counter()
-    result = analyze(
-        program, {"p": p}, method=args.method,
-        use_screens=not args.no_screens, config=config,
-    )
-    elapsed = time.perf_counter() - t0
-    print(f"bit-level matmul u={u} p={p} expansion={args.expansion}: "
-          f"method={args.method} backend={resolve_backend(args.backend)} "
-          f"screens={not args.no_screens}")
-    print(f"{len(result.instances)} dependence instances, "
-          f"{len(result.distinct_vectors())} distinct vectors "
-          f"({elapsed:.3f}s)")
-    for vec in result.distinct_vectors():
-        print(f"  d = {list(vec)}")
-    for key, value in result.stats.items():
-        print(f"  {key}: {value}")
-    return 0
+    return _finish(_dispatch(args, spec))
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -206,6 +152,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         sess = st["session"]
         print(f"this process: {sess['hits']} hits, {sess['misses']} misses, "
               f"{sess['evictions']} evictions")
+        store = st.get("store")
+        if store is not None:
+            # Cross-process totals from the locked on-disk stats ledger.
+            print(f"store totals: {store['hits']} hits, "
+                  f"{store['misses']} misses, "
+                  f"{store['evictions']} evictions, "
+                  f"{store['writes']} writes")
         from repro import obs
 
         obs.gauge("cache.bytes_on_disk", st["bytes"])
@@ -217,12 +170,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.verify import VerifyConfig, run_mutation_check, run_verification
-
     cases = 10 if args.smoke and args.cases is None else (args.cases or 50)
     budget = 5.0 if args.smoke and args.budget_s is None else args.budget_s
 
     if args.mutation_check:
+        from repro.verify import run_mutation_check
+
         counterexample = run_mutation_check(seed=args.seed, cases=cases)
         if counterexample is None:
             print(
@@ -238,22 +191,67 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"  {counterexample.detail}")
         return 0
 
-    config = VerifyConfig(
+    from repro.serve.jobs import JobSpec
+
+    spec = JobSpec(
+        kind="verify",
         seed=args.seed,
         cases=cases,
-        budget_s=budget,
-        oracles=tuple(args.oracle) if args.oracle else VerifyConfig().oracles,
+        oracle_budget_s=budget,
+        oracles=tuple(args.oracle) if args.oracle else None,
     )
-    report = run_verification(config)
-    print(report.summary())
-    if args.report:
+    result = _dispatch(args, spec)
+    rc = _finish(result)
+    if args.report and result.data is not None:
+        import json
+
         try:
-            report.write(args.report)
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(result.data, indent=2, sort_keys=True) + "\n"
+                )
             print(f"report written to {args.report}")
         except OSError as exc:
             print(f"repro verify: cannot write report: {exc}", file=sys.stderr)
             return 1
-    return 0 if report.ok else 1
+    return rc
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import JobLimits, JobServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        limits=JobLimits(
+            max_points=args.max_points,
+            max_cases=args.max_cases,
+            max_budget_s=args.max_budget_s,
+        ),
+        max_batch=args.max_batch,
+    )
+    server = JobServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro serve: listening on http://{server.host}:{server.port}",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _server_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", metavar="HOST:PORT", default=None,
+        help="run this job on a 'repro serve' instance instead of in-process",
+    )
 
 
 def _obs_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -346,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--primitives", choices=["fig4", "fig5", "mesh", "none"],
         default="fig4", help="interconnection-primitive set P",
     )
+    _server_option(p_search)
     p_search.set_defaults(fn=_cmd_search)
 
     p_sim = sub.add_parser("simulate", help="run the bit-level matmul machine")
@@ -357,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator engine (default: REPRO_SIM_BACKEND or pointwise)",
     )
     p_sim.add_argument("--gantt", action="store_true", help="print PE chart")
+    _server_option(p_sim)
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_analyze = sub.add_parser(
@@ -383,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR", default=None,
         help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    _server_option(p_analyze)
     p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_cache = sub.add_parser(
@@ -427,8 +428,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test: seed a wrong validity condition into the Theorem "
         "3.1 assembly and require oracle_theorem31 to catch it",
     )
+    _server_option(p_verify)
     _obs_options(p_verify, top_level=False)
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async analysis job server (HTTP/JSON)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8741,
+                         help="listen port (0 picks a free port)")
+    p_serve.add_argument(
+        "--max-points", type=int, default=4_000_000,
+        help="admission limit on estimated iteration-space points",
+    )
+    p_serve.add_argument(
+        "--max-cases", type=int, default=1_000,
+        help="admission limit on verify cases per job",
+    )
+    p_serve.add_argument(
+        "--max-budget-s", type=float, default=None, metavar="S",
+        help="cap (and default) for per-job wall-clock budgets",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="max analyze jobs fused into one vectorized-engine call",
+    )
+    _obs_options(p_serve, top_level=False)
+    p_serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -34,6 +34,7 @@ from repro.cache.serde import (
     decode_obj,
     encode_obj,
 )
+from repro.cache.lock import FileLock
 from repro.cache.store import (
     ENV_DIR,
     SCHEMA_VERSION,
@@ -46,6 +47,7 @@ __all__ = [
     "ENV_DIR",
     "SCHEMA_VERSION",
     "ArtifactCache",
+    "FileLock",
     "Uncacheable",
     "Unserializable",
     "algorithm_from_payload",

@@ -42,6 +42,7 @@ repeated pipeline/verify/experiment runs skip re-analysis entirely.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass
 
@@ -86,6 +87,7 @@ __all__ = [
     "default_backend",
     "resolve_backend",
     "run_analysis",
+    "run_analysis_batch",
 ]
 
 BACKENDS = ("scalar", "batched")
@@ -347,11 +349,19 @@ def analyze_exact_batched(
     program: LoopNest,
     binding: ParamBinding,
     use_screens: bool = True,
+    solve_memo: dict | None = None,
 ) -> AnalysisResult:
     """Batched re-implementation of :func:`analyze_exact`.
 
     Produces a bit-identical :class:`AnalysisResult` (instances and
     ``stats``); see the module docstring for the batching strategy.
+
+    ``solve_memo`` lets a caller share the HNF-keyed Diophantine memo
+    across several analyses (:func:`run_analysis_batch`): entries are
+    keyed on ``(system HNF, candidate box)``, so reuse is exact no
+    matter which program in the batch populated them.  Memo hits change
+    only wall-clock (and the ``depanalysis.system_memo_hits`` obs
+    counter), never the result or its ``stats`` dict.
     """
     if not HAVE_NUMPY:
         return analyze_exact(program, binding, use_screens=use_screens)
@@ -401,7 +411,8 @@ def analyze_exact_batched(
         else:
             survivor_idx = list(range(len(pairs)))
 
-        solve_memo: dict = {}
+        memo = solve_memo if solve_memo is not None else {}
+        box_key = tuple(box)
         progress = obs.progress(
             "depanalysis.candidate_blocks", total=len(survivor_idx)
         )
@@ -419,16 +430,16 @@ def analyze_exact_batched(
                     r_e.offset.evaluate(binding) - w_e.offset.evaluate(binding)
                 )
             stats["systems_solved"] += 1
-            memo_key = system_key(a_rows, rhs)
-            if memo_key in solve_memo:
-                candidates = solve_memo[memo_key]
+            memo_key = (system_key(a_rows, rhs), box_key)
+            if memo_key in memo:
+                candidates = memo[memo_key]
                 obs.count("depanalysis.system_memo_hits")
             else:
                 sol = solve_integer_system(a_rows, rhs)
                 candidates = (
                     None if sol is None else _candidate_block(sol[0], sol[1], box)
                 )
-                solve_memo[memo_key] = candidates
+                memo[memo_key] = candidates
             if candidates is None:
                 stats["no_integer_solution"] += 1
                 continue
@@ -656,43 +667,120 @@ def run_analysis(
     The scalar and batched backends return bit-identical results, so cache
     entries are shared across backends (the key covers the canonicalized
     program instance, method, and screen setting -- not the backend).
+    Delegates to :func:`run_analysis_batch` with a batch of one.
     """
+    return run_analysis_batch(
+        [(program, binding, method, use_screens)], config=config
+    )[0]
+
+
+def run_analysis_batch(
+    requests,
+    config: AnalysisConfig | None = None,
+    timings: list | None = None,
+) -> list[AnalysisResult]:
+    """Run several analyses as **one** engine call.
+
+    ``requests`` is a sequence of ``(program, binding, method,
+    use_screens)`` tuples; the return list holds each request's
+    :class:`AnalysisResult` in request order, bit-identical to what
+    per-request :func:`run_analysis` calls would produce.
+
+    Batching buys three things over a loop of single calls:
+
+    * one cache store (one lock acquisition pattern, one stats flush)
+      serves the whole batch;
+    * cache hits are peeled off first, and the ``analysis.engine_calls``
+      obs counter increments **once** for the whole batch iff anything
+      is actually computed (``analysis.engine_jobs`` counts the computed
+      requests) -- this is the counter the ``repro.serve`` coalescing
+      guarantee is stated in;
+    * under the batched backend, every exact analysis in the batch
+      shares a single ``(system HNF, candidate box)``-keyed Diophantine
+      memo, so structurally recurring subscript systems across requests
+      are solved once.
+
+    When ``timings`` (an empty list) is passed, one wall-clock figure
+    per request -- its cache lookup plus, for misses, its share of the
+    batch's compute -- is appended in request order.
+    """
+    import time
+
+    reqs = [
+        (program, binding, method, use_screens)
+        for program, binding, method, use_screens in requests
+    ]
+    for _prog, _bind, method, _scr in reqs:
+        if method not in ("exact", "enumerate"):
+            raise ValueError(f"unknown analysis method {method!r}")
     if config is None:
         config = AnalysisConfig()
     backend = resolve_backend(config.backend)
     store = resolve_cache(config.cache, config.cache_dir)
 
-    key = None
-    if store is not None:
-        try:
-            key = analysis_key(program, binding, method, use_screens)
-        except Uncacheable:
-            key = None
-        if key is not None:
-            payload = store.get("analysis", key)
-            if payload is not None:
-                try:
-                    return analysis_result_from_payload(payload)
-                except (KeyError, TypeError, ValueError):
-                    pass  # malformed entry: recompute (and overwrite below)
+    results: list[AnalysisResult | None] = [None] * len(reqs)
+    spent = [0.0] * len(reqs)
+    pending: list[tuple[int, str | None]] = []
+    for idx, (program, binding, method, use_screens) in enumerate(reqs):
+        t0 = time.perf_counter()
+        key = None
+        if store is not None:
+            try:
+                key = analysis_key(program, binding, method, use_screens)
+            except Uncacheable:
+                key = None
+            if key is not None:
+                payload = store.get("analysis", key)
+                if payload is not None:
+                    try:
+                        results[idx] = analysis_result_from_payload(payload)
+                        spent[idx] = time.perf_counter() - t0
+                        continue
+                    except (KeyError, TypeError, ValueError):
+                        pass  # malformed entry: recompute (and overwrite)
+        spent[idx] = time.perf_counter() - t0
+        pending.append((idx, key))
 
-    from repro.depanalysis.analyzer import analyze_enumerate
+    if pending:
+        from repro.depanalysis.analyzer import analyze_enumerate
 
-    if method == "exact":
-        if backend == "batched":
-            result = analyze_exact_batched(
-                program, binding, use_screens=use_screens
+        obs.count("analysis.engine_calls")
+        obs.count("analysis.engine_jobs", len(pending))
+        shared_memo: dict = {}
+        batch_span = (
+            obs.span(
+                "depanalysis.engine_batch", jobs=len(pending), backend=backend
             )
-        else:
-            result = analyze_exact(program, binding, use_screens=use_screens)
-    elif method == "enumerate":
-        if backend == "batched":
-            result = analyze_enumerate_batched(program, binding)
-        else:
-            result = analyze_enumerate(program, binding)
-    else:
-        raise ValueError(f"unknown analysis method {method!r}")
+            if len(reqs) > 1
+            else contextlib.nullcontext()
+        )
+        with batch_span:
+            for idx, key in pending:
+                t0 = time.perf_counter()
+                program, binding, method, use_screens = reqs[idx]
+                if method == "exact":
+                    if backend == "batched":
+                        result = analyze_exact_batched(
+                            program, binding, use_screens=use_screens,
+                            solve_memo=shared_memo,
+                        )
+                    else:
+                        result = analyze_exact(
+                            program, binding, use_screens=use_screens
+                        )
+                elif backend == "batched":
+                    result = analyze_enumerate_batched(program, binding)
+                else:
+                    result = analyze_enumerate(program, binding)
+                if store is not None and key is not None:
+                    store.put(
+                        "analysis", key, analysis_result_to_payload(result)
+                    )
+                results[idx] = result
+                spent[idx] += time.perf_counter() - t0
 
-    if store is not None and key is not None:
-        store.put("analysis", key, analysis_result_to_payload(result))
-    return result
+    if store is not None:
+        store.flush_stats()
+    if timings is not None:
+        timings.extend(spent)
+    return results

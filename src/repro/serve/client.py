@@ -1,0 +1,160 @@
+"""Thin synchronous client for the repro job server.
+
+Stdlib-only (``http.client``), one connection per call, no retry magic:
+the client is deliberately dumb so that everything interesting --
+coalescing, batching, budgets, streaming -- lives server-side and is
+shared by every front-end.  The CLI's ``--server`` mode and the CI
+smoke test are both just this class.
+
+Typical use::
+
+    from repro.serve import JobSpec, ServeClient
+
+    client = ServeClient(port=8741)
+    result = client.run(JobSpec(kind="analyze", u=3, p=3))
+    print(result.output, end="")
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterable, Iterator
+
+from repro.serve.jobs import JobResult, JobSpec
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx reply from the job server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk JobSpec/JobResult to a :class:`~repro.serve.server.JobServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8741,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServeError(
+                    response.status, str(decoded.get("error", decoded))
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Enqueue one job; returns ``{"job_id", "key", "coalesced", ...}``."""
+        return self._request("POST", "/v1/jobs", spec.to_payload())
+
+    def submit_batch(self, specs: Iterable[JobSpec]) -> list[dict]:
+        """Enqueue several jobs at once (lets the server batch them)."""
+        reply = self._request(
+            "POST", "/v1/batch",
+            {"specs": [spec.to_payload() for spec in specs]},
+        )
+        return reply["jobs"]
+
+    def status(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until ``job_id`` finishes; long-polls in 30 s slices."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            slice_s = 30.0
+            if deadline is not None:
+                slice_s = min(slice_s, max(0.0, deadline - time.monotonic()))
+            envelope = self.status(job_id, wait=slice_s)
+            if envelope.get("status") == "done":
+                return JobResult.from_payload(envelope["result"])
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {envelope.get('status')!r} after "
+                    f"{timeout}s"
+                )
+
+    # -- conveniences --------------------------------------------------------
+    def run(self, spec: JobSpec, timeout: float | None = None) -> JobResult:
+        """Submit one job and wait for its result."""
+        return self.wait(self.submit(spec)["job_id"], timeout=timeout)
+
+    def run_many(
+        self, specs: Iterable[JobSpec], timeout: float | None = None
+    ) -> list[JobResult]:
+        """Submit a batch and collect every result, in submission order."""
+        submitted = self.submit_batch(specs)
+        return [
+            self.wait(item["job_id"], timeout=timeout) for item in submitted
+        ]
+
+    def iter_events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's obs events (NDJSON) until its ``job_done`` record."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode("utf-8", "replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except ValueError:
+                    message = raw
+                raise ServeError(response.status, str(message))
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("type") == "job_done":
+                    return
+        finally:
+            conn.close()

@@ -301,3 +301,142 @@ class TestEndToEnd:
         assert counters.get("cache.misses") == 1
         assert counters.get("cache.writes") == 1
         assert counters.get("cache.hits") == 1
+
+
+class TestSharedStats:
+    """The cross-process stats ledger: atomic, delta-based, lock-guarded.
+
+    Regression for the double-reporting bug: each process used to dump
+    its *cumulative* session counters into the shared stats file, so two
+    processes (or two flushes) sharing a store dir counted the same hits
+    twice.  The ledger now accumulates per-flush deltas under the store's
+    file lock, which makes flushing idempotent and cross-process totals
+    exact sums.
+    """
+
+    def _one_session(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.get("k", "ab" * 32)          # miss
+        cache.put("k", "ab" * 32, [1, 2])  # write
+        cache.get("k", "ab" * 32)          # hit
+        return cache
+
+    def test_flush_is_idempotent(self, tmp_path):
+        cache = self._one_session(tmp_path)
+        first = cache.flush_stats()
+        again = cache.flush_stats()
+        third = cache.stats()["store"]
+        assert first == again == third
+        assert first["hits"] == 1
+        assert first["misses"] == 1
+        assert first["writes"] == 1
+
+    def test_two_sessions_sum_not_double(self, tmp_path):
+        a = self._one_session(tmp_path)
+        a.flush_stats()
+        a.flush_stats()  # re-flush must not re-add the same deltas
+        b = ArtifactCache(tmp_path)
+        b.get("k", "ab" * 32)  # hit (entry written by session a)
+        b.get("k", "cd" * 32)  # miss
+        b.flush_stats()
+        totals = ArtifactCache(tmp_path).stats()["store"]
+        assert totals["hits"] == 2
+        assert totals["misses"] == 2
+        assert totals["writes"] == 1
+
+    def test_cross_process_totals_are_exact(self, tmp_path):
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.cache import ArtifactCache; "
+            f"c = ArtifactCache({str(tmp_path)!r}); "
+            "c.get('k', 'ee' * 32); "
+            "c.put('k', 'ee' * 32, [1]); "
+            "c.get('k', 'ee' * 32); "
+            "c.flush_stats(); c.flush_stats()"
+        )
+        for _ in range(2):
+            subprocess.run(
+                [sys.executable, "-c", script], check=True,
+                env={**os.environ, "PYTHONPATH": "src"},
+            )
+        totals = ArtifactCache(tmp_path).stats()["store"]
+        # First process: miss, write, hit.  Second: hit, write, hit.
+        # Every increment lands exactly once despite double flushes.
+        assert totals["misses"] == 1
+        assert totals["writes"] == 2
+        assert totals["hits"] == 3
+
+    def test_stats_ledger_is_not_a_cache_entry(self, tmp_path):
+        cache = self._one_session(tmp_path)
+        cache.flush_stats()
+        st = cache.stats()
+        assert st["entries"] == 1
+        assert cache.clear() == 1
+        # A fresh flush after clear must not resurrect pre-clear deltas.
+        assert cache.flush_stats()["hits"] == 0
+
+    def test_concurrent_flushes_lose_nothing(self, tmp_path):
+        import threading
+
+        caches = []
+        for _ in range(4):
+            cache = ArtifactCache(tmp_path)
+            cache.hits = 25  # simulate 25 hits in this "process"
+            caches.append(cache)
+        threads = [
+            threading.Thread(target=c.flush_stats) for c in caches
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ArtifactCache(tmp_path).stats()["store"]["hits"] == 100
+
+
+class TestFileLock:
+    def test_mutual_exclusion_across_threads(self, tmp_path):
+        import threading
+
+        from repro.cache import FileLock
+
+        counter_file = tmp_path / "counter.txt"
+        counter_file.write_text("0")
+
+        def bump():
+            for _ in range(25):
+                with FileLock(tmp_path / "guard.lock") as lock:
+                    assert lock.held
+                    value = int(counter_file.read_text())
+                    counter_file.write_text(str(value + 1))
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter_file.read_text() == "100"
+
+    def test_reentrant_within_a_thread(self, tmp_path):
+        from repro.cache import FileLock
+
+        lock = FileLock(tmp_path / "guard.lock")
+        with lock as outer:
+            assert outer.held
+            with lock as inner:
+                assert inner.held
+            assert lock.held
+        assert not lock.held
+
+    def test_contention_times_out_without_raising(self, tmp_path):
+        from repro.cache import FileLock
+
+        holder = FileLock(tmp_path / "guard.lock", timeout=1.0)
+        assert holder.acquire()
+        try:
+            contender = FileLock(tmp_path / "guard.lock", timeout=0.05)
+            with contender as lock:
+                assert not lock.held  # degraded, not crashed
+        finally:
+            holder.release()
