@@ -1,0 +1,278 @@
+"""Benchmark: symbolic (closed-form) analysis vs concrete enumeration.
+
+Times :func:`repro.symbolic.analyze_symbolic` -- the one-time parametric
+solve and the O(1) instantiation of its closed form -- against the
+concrete analyzer (:func:`repro.depanalysis.analyze`) on the same
+bit-level matmul programs, asserting instance-count identity at every
+cross-validated size.  The headline number is the instantiation latency
+at ``u = p = 64/256/1024`` (flat in size, milliseconds) against the
+concrete enumeration cost at the largest size concrete analysis can
+still afford (``u = p = 8``, seconds).
+
+Besides the pytest-benchmark kernels, this module doubles as a script:
+
+* ``python benchmarks/bench_symbolic.py --smoke`` solves once, checks
+  instantiation against concrete analysis at two small sizes, and
+  asserts a >= 2x instantiate-vs-concrete speedup plus a sub-second
+  ``u = p = 1024`` answer -- the CI guard.
+* ``python benchmarks/bench_symbolic.py --record`` measures the solve,
+  the instantiation latency ladder, and the concrete reference at
+  ``u = p = 8`` (expecting the symbolic path >= 100x faster), verifies
+  instance counts at every rung, and updates ``BENCH_symbolic.json``
+  at the repo root.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import obs
+from repro.depanalysis import AnalysisConfig, analyze
+from repro.experiments.tables import format_table
+from repro.ir.expand import expand_bit_level
+from repro.structures.params import S
+from repro.symbolic import analyze_symbolic, clear_memo
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_symbolic.json"
+
+_MATMUL_H = ([0, 1, 0], [1, 0, 0], [0, 0, 1])
+
+#: Sizes where the closed form is cross-checked against concrete
+#: enumeration (the last is also the concrete reference timing).
+CROSSVAL_SIZES = ((3, 2), (4, 4), (6, 6), (8, 8))
+
+#: The instantiation-latency ladder: flat in size is the whole point.
+LADDER = (64, 256, 1024)
+
+
+def _symbolic_program(expansion="II"):
+    h1, h2, h3 = _MATMUL_H
+    return expand_bit_level(
+        h1, h2, h3, [1, 1, 1], [S("u")] * 3, S("p"), expansion
+    )
+
+
+def _concrete_program(u, p, expansion="II"):
+    h1, h2, h3 = _MATMUL_H
+    return expand_bit_level(h1, h2, h3, [1, 1, 1], [u, u, u], p, expansion)
+
+
+def _timed_solve(program, repeats=1):
+    """Best-of-N parametric solve (memo cleared so every run is real)."""
+    best = result = None
+    for _ in range(repeats):
+        clear_memo()
+        t0 = time.perf_counter()
+        result = analyze_symbolic(program, cache=False)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _timed_instantiate(result, u, p, repeats=3):
+    best = summary = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        summary = result.summary({"u": u, "p": p})
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, summary
+
+
+def _timed_concrete(u, p, repeats=1):
+    program = _concrete_program(u, p)
+    config = AnalysisConfig(cache=False)
+    best = result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = analyze(program, {"p": p}, method="enumerate", config=config)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _assert_identical(summary, concrete, label):
+    assert summary["instances"] == len(concrete.instances), (
+        f"{label}: symbolic {summary['instances']} vs concrete "
+        f"{len(concrete.instances)} instances"
+    )
+    want_vectors = sorted({inst.vector for inst in concrete.instances})
+    assert sorted(summary["distinct_vectors"]) == want_vectors, (
+        f"{label}: distinct vectors diverged"
+    )
+
+
+# -- pytest-benchmark kernels -----------------------------------------------
+
+@pytest.fixture(scope="module")
+def solved():
+    clear_memo()
+    return analyze_symbolic(_symbolic_program(), cache=False)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    t_solve, result = _timed_solve(_symbolic_program())
+    rows = []
+    data_rows = []
+    for u in LADDER:
+        t_i, summary = _timed_instantiate(result, u, u)
+        rows.append((u, u, summary["instances"], f"{t_i * 1e3:.2f}"))
+        data_rows.append({
+            "u": u, "p": u, "instances": summary["instances"],
+            "instantiate_ms": round(t_i * 1e3, 3),
+        })
+    text = format_table(
+        ["u", "p", "instances", "instantiate ms"],
+        rows,
+        title=(f"Symbolic analysis: {len(result.families)} families solved "
+               f"in {t_solve * 1e3:.1f} ms, then O(1) instantiation"),
+    )
+    report_writer(
+        "symbolic-analysis", text,
+        data={"solve_s": round(t_solve, 4), "families": len(result.families),
+              "rows": data_rows},
+    )
+
+
+def test_bench_solve(benchmark):
+    program = _symbolic_program()
+
+    def run():
+        clear_memo()
+        return analyze_symbolic(program, cache=False)
+
+    result = benchmark(run)
+    assert result.closed_form
+
+
+def test_bench_instantiate_1024(benchmark, solved):
+    summary = benchmark(solved.summary, {"u": 1024, "p": 1024})
+    assert summary["instances"] > 4 * 10**15
+
+
+def test_bench_concrete_reference(benchmark):
+    _, result = benchmark(_timed_concrete, 3, 2)
+    assert result.stats["instances"] > 0
+
+
+# -- script modes -----------------------------------------------------------
+
+def _smoke() -> int:
+    t_solve, result = _timed_solve(_symbolic_program())
+    assert result.closed_form, "matmul family must solve in closed form"
+    for u, p in ((3, 2), (4, 4)):
+        t_c, concrete = _timed_concrete(u, p)
+        t_i, summary = _timed_instantiate(result, u, p)
+        _assert_identical(summary, concrete, f"u={u} p={p}")
+    speedup = t_c / t_i
+    t_big, big = _timed_instantiate(result, 1024, 1024)
+    print(f"smoke: solve {t_solve * 1e3:.1f} ms  u=4 p=4 concrete "
+          f"{t_c * 1e3:.1f} ms  instantiate {t_i * 1e3:.2f} ms "
+          f"({speedup:.1f}x)  u=p=1024 {t_big * 1e3:.2f} ms "
+          f"({big['instances']} instances)  identical=True")
+    assert speedup >= 2.0, (
+        f"instantiate speedup {speedup:.2f}x below the 2x smoke floor"
+    )
+    assert t_big < 1.0, (
+        f"u=p=1024 instantiation took {t_big:.2f}s; closed form must be O(1)"
+    )
+    return 0
+
+
+def _record(repeats: int) -> int:
+    print(f"solving the parametric matmul system (best of {repeats})...")
+    t_solve, result = _timed_solve(_symbolic_program(), repeats=repeats)
+    assert result.closed_form
+    print(f"  {len(result.families)} families in {t_solve * 1e3:.1f} ms")
+
+    print(f"cross-validating against concrete enumeration at "
+          f"{list(CROSSVAL_SIZES)}...")
+    crossval = []
+    t_concrete = concrete = None
+    for u, p in CROSSVAL_SIZES:
+        t_concrete, concrete = _timed_concrete(u, p)
+        t_i, summary = _timed_instantiate(result, u, p, repeats=repeats)
+        _assert_identical(summary, concrete, f"u={u} p={p}")
+        crossval.append({
+            "u": u, "p": p, "instances": len(concrete.instances),
+            "concrete_s": round(t_concrete, 4),
+            "instantiate_ms": round(t_i * 1e3, 3),
+            "identical": True,
+        })
+        print(f"  u={u} p={p}: concrete {t_concrete * 1e3:.1f} ms  "
+              f"instantiate {t_i * 1e3:.2f} ms  identical=True")
+
+    u_ref, p_ref = CROSSVAL_SIZES[-1]
+    t_ref_inst, _ = _timed_instantiate(result, u_ref, p_ref, repeats=repeats)
+    speedup = t_concrete / t_ref_inst
+    print(f"reference u={u_ref} p={p_ref}: {speedup:.0f}x symbolic vs "
+          f"concrete")
+
+    print(f"measuring the instantiation ladder {list(LADDER)}...")
+    ladder = {}
+    for u in LADDER:
+        t_i, summary = _timed_instantiate(result, u, u, repeats=repeats)
+        ladder[f"u{u}p{u}"] = {
+            "instantiate_ms": round(t_i * 1e3, 3),
+            "instances": summary["instances"],
+            "distinct_vectors": len(summary["distinct_vectors"]),
+        }
+        print(f"  u=p={u}: {t_i * 1e3:.2f} ms, "
+              f"{summary['instances']} instances")
+
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    data.update({
+        "instance": {
+            "algorithm": "bit-level matmul (add-shift, expansion II)",
+            "note": "parametric solve with u, p free; closed-form "
+                    "instantiation is O(1) in both",
+        },
+        "environment": obs.environment_info(),
+        "solve": {
+            "seconds": round(t_solve, 4),
+            "families": len(result.families),
+            "closed_form": True,
+        },
+        "instantiate": ladder,
+        "concrete_reference": {
+            "u": u_ref, "p": p_ref, "method": "enumerate",
+            "seconds": round(t_concrete, 4),
+            "instances": len(concrete.instances),
+        },
+        "speedup_symbolic_vs_concrete": round(speedup, 2),
+        "crossval": crossval,
+    })
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_FILE}")
+    assert speedup >= 100.0, (
+        f"symbolic speedup {speedup:.1f}x below the 100x record floor"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true",
+                      help="solve + two cross-validated sizes; assert "
+                      "identity, >= 2x, and sub-second u=p=1024")
+    mode.add_argument("--record", action="store_true",
+                      help="measure the solve, ladder and concrete "
+                      "reference; update BENCH_symbolic.json")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats for --record")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    return _record(args.repeats)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

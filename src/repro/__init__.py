@@ -31,6 +31,7 @@ Subpackages
 ``repro.structures``   index sets, conditions, dependence matrices
 ``repro.ir``           loop-nest IR, the paper's programs, bit-level expander
 ``repro.depanalysis``  general dependence analysis (the costly baseline)
+``repro.symbolic``     parametric (closed-form) dependence analysis
 ``repro.arith``        add-shift / carry-save / ripple-carry arithmetic
 ``repro.expansion``    Expansions I/II, Theorem 3.1, verification, semantics
 ``repro.mapping``      Definition 4.1 machinery and the paper's designs
@@ -64,7 +65,7 @@ from repro.mapping import (
     processor_count,
 )
 from repro.verify import VerifyConfig, VerifyReport
-from repro.api import search_designs, simulate, verify_run
+from repro.api import analyze_symbolic, search_designs, simulate, verify_run
 
 __version__ = "1.0.0"
 
@@ -106,6 +107,7 @@ __all__ = [
     "IndexSet",
     "AnalysisConfig",
     "analyze",
+    "analyze_symbolic",
     "BitLevelEvaluator",
     "bit_level_structure",
     "matmul_bit_level",

@@ -127,14 +127,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.serve.jobs import JobSpec
 
-    spec = JobSpec(
-        kind="analyze", u=args.u, p=args.p, expansion=args.expansion,
-        method=args.method,
-        use_screens=not args.no_screens,
-        analysis_backend=args.backend,
-        cache=not args.no_cache,  # this command defaults the cache to ON
-        cache_dir=args.cache_dir,
-    )
+    if args.symbolic:
+        spec = JobSpec(
+            kind="analyze_symbolic", u=args.u, p=args.p,
+            expansion=args.expansion,
+            cache=not args.no_cache,  # this command defaults the cache to ON
+            cache_dir=args.cache_dir,
+        )
+    else:
+        spec = JobSpec(
+            kind="analyze", u=args.u, p=args.p, expansion=args.expansion,
+            method=args.method,
+            use_screens=not args.no_screens,
+            analysis_backend=args.backend,
+            cache=not args.no_cache,  # this command defaults the cache to ON
+            cache_dir=args.cache_dir,
+        )
     return _finish(_dispatch(args, spec))
 
 
@@ -186,6 +194,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(
             f"mutation check ok: seeded c' validity bug caught, "
             f"counterexample shrunk in {counterexample.shrink_steps} steps"
+        )
+        print(f"  case: {dict(counterexample.case)}")
+        print(f"  {counterexample.detail}")
+        return 0
+
+    if args.symbolic_mutation:
+        from repro.verify import run_symbolic_mutation_check
+
+        counterexample = run_symbolic_mutation_check(
+            args.symbolic_mutation, seed=args.seed, cases=cases
+        )
+        if counterexample is None:
+            print(
+                f"mutation check FAILED: oracle_symbolic did not catch the "
+                f"seeded {args.symbolic_mutation} bug"
+            )
+            return 1
+        print(
+            f"mutation check ok: seeded {args.symbolic_mutation} bug "
+            f"caught, counterexample shrunk in "
+            f"{counterexample.shrink_steps} steps"
         )
         print(f"  case: {dict(counterexample.case)}")
         print(f"  {counterexample.detail}")
@@ -364,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_analyze)
     p_analyze.add_argument(
+        "--symbolic", action="store_true",
+        help="parametric analysis: solve once with u/p free, instantiate "
+        "at the given sizes in O(1)",
+    )
+    p_analyze.add_argument(
         "--method", choices=["exact", "enumerate"], default="exact",
         help="exact (Diophantine) or enumerate (hash-join oracle)",
     )
@@ -412,7 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument(
         "--oracle", action="append", default=None,
-        choices=["theorem31", "analysis", "mapping", "simulator"],
+        choices=["theorem31", "analysis", "symbolic", "mapping", "simulator"],
         help="run only this oracle (repeatable; default: all)",
     )
     p_verify.add_argument(
@@ -427,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--mutation-check", action="store_true",
         help="self-test: seed a wrong validity condition into the Theorem "
         "3.1 assembly and require oracle_theorem31 to catch it",
+    )
+    p_verify.add_argument(
+        "--symbolic-mutation", metavar="NAME", default=None,
+        choices=["dropped-congruence", "shifted-bound"],
+        help="self-test: seed NAME into the symbolic solver and require "
+        "the symbolic cross-validation oracle to catch it",
     )
     _server_option(p_verify)
     _obs_options(p_verify, top_level=False)

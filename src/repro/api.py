@@ -26,10 +26,45 @@ __all__ = [
     "AnalysisConfig",
     "SearchConfig",
     "analyze",
+    "analyze_symbolic",
     "search_designs",
     "simulate",
     "verify_run",
 ]
+
+
+def analyze_symbolic(
+    u: int = 3,
+    p: int = 3,
+    *,
+    expansion: str = "II",
+    cache: bool | None = None,
+    cache_dir: str | None = None,
+    budget_s: float | None = None,
+):
+    """Parametric dependence analysis of bit-level matmul; returns a JobResult.
+
+    Solves the dependence structure once with ``u`` and ``p`` kept free
+    (:func:`repro.symbolic.analyze_symbolic` on the expanded program),
+    then instantiates the closed form at the given concrete sizes --
+    O(1) in ``u`` and ``p``, so arbitrarily large instances answer in
+    milliseconds.  ``.data`` carries the instance count, distinct
+    vectors, per-kind totals and the solve/instantiate timings; the
+    CLI-equal rendering (``repro analyze --symbolic``) is in ``.output``.
+
+    For symbolic analysis of an arbitrary loop nest (rather than the
+    matmul family at concrete sizes), call
+    :func:`repro.symbolic.analyze_symbolic` directly.
+    """
+    from repro.serve.dispatch import run_job
+    from repro.serve.jobs import JobSpec
+
+    return run_job(
+        JobSpec(
+            kind="analyze_symbolic", u=u, p=p, expansion=expansion,
+            cache=cache, cache_dir=cache_dir, budget_s=budget_s,
+        )
+    )
 
 
 def simulate(

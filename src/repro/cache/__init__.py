@@ -21,6 +21,7 @@ from repro.cache.keys import (
     analysis_key,
     fingerprint,
     structure_key,
+    symbolic_key,
     system_key,
 )
 from repro.cache.serde import (
@@ -63,5 +64,6 @@ __all__ = [
     "fingerprint",
     "resolve_cache",
     "structure_key",
+    "symbolic_key",
     "system_key",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "fingerprint",
     "analysis_key",
     "structure_key",
+    "symbolic_key",
     "system_key",
 ]
 
@@ -113,6 +114,50 @@ def analysis_key(program, binding, method: str, use_screens: bool) -> str:
             for s in program.statements
         ],
     }
+    return fingerprint(payload)
+
+
+def symbolic_key(program) -> str:
+    """Content-address one symbolic (parametric) analysis.
+
+    Unlike :func:`analysis_key`, nothing is evaluated: bounds, subscript
+    offsets, and guard values are serialized as linear expressions, so the
+    key identifies the whole *family* of program instances over the free
+    parameters.  Parameter names are part of the key (a result for ``u``
+    cannot answer a program phrased over ``v``), which matches how the
+    cached closed forms are instantiated by name.
+    """
+    from repro.cache.serde import linexpr_to_payload
+
+    order = program.index_names
+
+    def access(a) -> dict:
+        return {
+            "array": a.array,
+            "rows": [e.coeff_vector(order) for e in a.subscripts],
+            "offsets": [linexpr_to_payload(e.offset) for e in a.subscripts],
+        }
+
+    try:
+        payload = {
+            "kind": "symbolic",
+            "bounds": [
+                [linexpr_to_payload(lo), linexpr_to_payload(hi)]
+                for lo, hi in zip(
+                    program.index_set.lowers, program.index_set.uppers
+                )
+            ],
+            "statements": [
+                {
+                    "write": access(s.write),
+                    "reads": [access(r) for r in s.reads],
+                    "guard": condition_to_payload(s.guard),
+                }
+                for s in program.statements
+            ],
+        }
+    except Unserializable as exc:
+        raise Uncacheable(str(exc)) from exc
     return fingerprint(payload)
 
 

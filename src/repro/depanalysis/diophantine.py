@@ -21,10 +21,12 @@ from fractions import Fraction
 from typing import Iterator, Sequence
 
 from repro.util.intmath import ceil_div, floor_div
+from repro.util.linalg import hermite_normal_form, integer_rank
 
 __all__ = [
     "bounded_lattice_points",
     "lattice_intervals",
+    "reduce_basis",
     "UnboundedLatticeError",
 ]
 
@@ -33,6 +35,36 @@ _INF = None  # sentinel for an unbounded interval end
 
 class UnboundedLatticeError(ValueError):
     """Raised when the lattice is not confined by the box constraints."""
+
+
+def reduce_basis(basis: Sequence[Sequence[int]]) -> list[list[int]]:
+    """An independent generating set of the lattice spanned by ``basis``.
+
+    A rank-deficient generator set (zero vectors, or linearly dependent
+    generators) makes the map ``t̄ -> x`` non-injective: enumerating the
+    ``t̄`` box would visit solutions repeatedly -- and the unbounded ``t̄``
+    fibers over each ``x`` used to surface as a spurious
+    :class:`UnboundedLatticeError`.  The nonzero rows of the row-style
+    Hermite normal form generate exactly the same lattice with full row
+    rank, so enumeration over them is finite and visits each solution
+    exactly once.
+
+    Already-independent bases are returned entry-for-entry unchanged, so
+    the ``t̄`` parameterization (and everything downstream of
+    :func:`lattice_intervals`, e.g. the batched engine's candidate grids)
+    is bit-identical for the non-degenerate inputs the Smith-normal-form
+    solver produces.
+    """
+    rows = [list(r) for r in basis]
+    nonzero = [r for r in rows if any(r)]
+    if len(nonzero) == len(rows) and (
+        not rows or integer_rank(rows) == len(rows)
+    ):
+        return rows
+    if not nonzero:
+        return []
+    h, _u = hermite_normal_form(nonzero)
+    return [row for row in h if any(row)]
 
 
 def _tighten(
@@ -236,10 +268,15 @@ def lattice_intervals(
     :class:`UnboundedLatticeError` when a direction cannot be bounded.
     This is the entry point the batched analysis engine uses to enumerate
     candidate blocks as a dense grid instead of by branch-and-prune.
+
+    Rank-deficient generator sets are first reduced via
+    :func:`reduce_basis`; the returned intervals then correspond to the
+    *reduced* basis directions.
     """
     n = len(particular)
     if len(bounds) != n:
         raise ValueError("bounds length must match solution dimension")
+    basis = reduce_basis(basis)
     if not basis:
         return []
     prep = _prepare(particular, basis, bounds)
@@ -257,13 +294,17 @@ def bounded_lattice_points(
     """Enumerate ``x = particular + sum_k t_k basis[k]`` with
     ``bounds[i][0] <= x_i <= bounds[i][1]`` for all ``i``.
 
-    Yields each solution vector ``x`` exactly once.  Raises
+    Yields each solution vector ``x`` exactly once -- including for
+    rank-deficient generator sets, which are reduced to an independent
+    basis of the same lattice first (:func:`reduce_basis`).  Raises
     :class:`UnboundedLatticeError` when constraint propagation cannot bound
-    every lattice coordinate (infinitely many solutions or a degenerate box).
+    every lattice coordinate of an independent basis (which a finite box
+    never produces; the error survives as a defensive invariant).
     """
     n = len(particular)
     if len(bounds) != n:
         raise ValueError("bounds length must match solution dimension")
+    basis = reduce_basis(basis)
     m = len(basis)
     if m == 0:
         x = list(particular)

@@ -2,7 +2,8 @@
 
 The repo's performance story lives in the committed ``BENCH_*.json``
 baselines (batched analysis 16.5x over scalar, warm artifact cache 131x,
-wavefront simulation 23.7x).  Nothing re-checked them per PR: a change
+wavefront simulation 23.7x, symbolic instantiation 500x over concrete
+enumeration).  Nothing re-checked them per PR: a change
 could quietly serialize the batched engine or break memoization and every
 test would stay green.  This module re-measures the smoke-scale versions
 of those ratios and fails when one drops below its requirement.
@@ -61,6 +62,7 @@ FLOORS = {
     "analysis_cache_warm": 2.0,
     "simulator_wavefront": 3.0,
     "search_memo_hits": 1.0,
+    "symbolic_instantiate": 20.0,
 }
 
 #: Where each check's committed baseline ratio lives: file -> key path.
@@ -71,6 +73,8 @@ BASELINE_KEYS = {
                             ("engine", "speedup_warm_vs_cold_batched")),
     "simulator_wavefront": ("BENCH_simulator.json",
                             ("engine", "speedup_wavefront_vs_pointwise")),
+    "symbolic_instantiate": ("BENCH_symbolic.json",
+                             ("speedup_symbolic_vs_concrete",)),
 }
 
 #: Smoke-to-record scale compensation per check.  The wavefront speedup
@@ -79,6 +83,9 @@ BASELINE_KEYS = {
 #: tolerance is applied; the analysis ratios transfer near-1:1.
 SMOKE_SCALE = {
     "simulator_wavefront": 0.5,
+    # the recorded 500x is vs concrete enumeration at u=p=8; the smoke
+    # re-measurement runs the cheaper u=p=6 where the ratio sits ~100x
+    "symbolic_instantiate": 0.2,
 }
 
 
@@ -297,6 +304,60 @@ def _check_simulator(report: GateReport, repeats: int, slowdown: float) -> None:
     ))
 
 
+def _check_symbolic(report: GateReport, repeats: int, slowdown: float) -> None:
+    from repro.depanalysis import AnalysisConfig, analyze
+    from repro.ir.expand import expand_bit_level
+    from repro.structures.params import S
+    from repro.symbolic import analyze_symbolic, clear_memo
+
+    u = p = 6
+    concrete_program = expand_bit_level(
+        [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1], [u, u, u], p, "II"
+    )
+    symbolic_program = expand_bit_level(
+        [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1],
+        [S("u")] * 3, S("p"), "II",
+    )
+    clear_memo()
+    symbolic = analyze_symbolic(symbolic_program, cache=False)
+
+    r_concrete = None
+    summary = None
+
+    def concrete():
+        nonlocal r_concrete
+        r_concrete = analyze(
+            concrete_program, {"p": p}, method="enumerate",
+            config=AnalysisConfig(cache=False),
+        )
+
+    def instantiate():
+        nonlocal summary
+        summary = symbolic.summary({"u": u, "p": p})
+
+    t_concrete = _best_of(concrete, repeats)
+    t_instantiate = _best_of(instantiate, _fast_repeats(repeats), slowdown)
+    identical = (
+        symbolic.closed_form
+        and summary["instances"] == len(r_concrete.instances)
+        and sorted(summary["distinct_vectors"])
+        == sorted({i.vector for i in r_concrete.instances})
+    )
+    required, baseline = _required("symbolic_instantiate", report.tolerance)
+    measured = t_concrete / t_instantiate
+    report.checks.append(GateCheck(
+        name="symbolic_instantiate",
+        metric="speedup_instantiate_vs_concrete",
+        measured=measured,
+        required=required,
+        floor=FLOORS["symbolic_instantiate"],
+        baseline=baseline,
+        passed=measured >= required and identical,
+        detail=(f"u=p={u}: concrete {t_concrete * 1e3:.1f}ms, instantiate "
+                f"{t_instantiate * 1e3:.1f}ms, identical={identical}"),
+    ))
+
+
 def _check_search(report: GateReport) -> None:
     from repro.expansion.theorem31 import matmul_bit_level
     from repro.mapping import designs
@@ -340,6 +401,7 @@ def run_gate(
     )
     _check_analysis(report, repeats, inject_slowdown_s)
     _check_simulator(report, repeats, inject_slowdown_s)
+    _check_symbolic(report, repeats, inject_slowdown_s)
     _check_search(report)
     if history_path is not None:
         record = {"timestamp": time.time(), **report.as_dict()}

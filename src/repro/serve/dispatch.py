@@ -237,6 +237,51 @@ def _handle_analyze(spec: JobSpec, out, verbose: bool):
     return 0, _analysis_data(result)
 
 
+def _handle_analyze_symbolic(spec: JobSpec, out, verbose: bool):
+    from repro.ir.expand import expand_bit_level
+    from repro.structures.params import S
+    from repro.symbolic import analyze_symbolic
+
+    program = expand_bit_level(
+        [0, 1, 0], [1, 0, 0], [0, 0, 1], [1, 1, 1],
+        [S("u"), S("u"), S("u")], S("p"), spec.expansion,
+    )
+    t0 = time.perf_counter()
+    result = analyze_symbolic(
+        program, cache=spec.cache, cache_dir=spec.cache_dir
+    )
+    solve_s = time.perf_counter() - t0
+    binding = {"u": spec.u, "p": spec.p}
+    t0 = time.perf_counter()
+    summary = result.summary(binding)
+    instantiate_s = time.perf_counter() - t0
+    form = "closed form" if result.closed_form else "general"
+    print(f"bit-level matmul expansion={spec.expansion}: "
+          f"symbolic analysis, {len(result.families)} families "
+          f"({form}, solved in {solve_s:.3f}s)", file=out)
+    print(f"instantiated at u={spec.u} p={spec.p}: "
+          f"{summary['instances']} dependence instances, "
+          f"{len(summary['distinct_vectors'])} distinct vectors "
+          f"({instantiate_s * 1e3:.2f}ms)", file=out)
+    for vec in summary["distinct_vectors"]:
+        print(f"  d = {list(vec)}", file=out)
+    for kind, count in summary["by_kind"].items():
+        print(f"  {kind}: {count}", file=out)
+    for key, value in result.stats.items():
+        print(f"  {key}: {value}", file=out)
+    data = {
+        "instances": summary["instances"],
+        "distinct_vectors": [list(v) for v in summary["distinct_vectors"]],
+        "by_kind": dict(summary["by_kind"]),
+        "families": summary["families"],
+        "closed_form": summary["closed_form"],
+        "stats": dict(result.stats),
+        "solve_s": solve_s,
+        "instantiate_s": instantiate_s,
+    }
+    return 0, data
+
+
 def _handle_search(spec: JobSpec, out, verbose: bool):
     from repro.expansion.theorem31 import matmul_bit_level
     from repro.experiments.tables import format_table
@@ -364,6 +409,7 @@ def _handle_verify(spec: JobSpec, out, verbose: bool):
 
 _HANDLERS = {
     "analyze": _handle_analyze,
+    "analyze_symbolic": _handle_analyze_symbolic,
     "search": _handle_search,
     "simulate": _handle_simulate,
     "verify": _handle_verify,

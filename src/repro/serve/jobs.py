@@ -14,14 +14,18 @@ the content address :func:`job_key` is stable across the wire.
 
 Job kinds and the fields they read:
 
-=========  ==============================================================
-analyze    ``u p expansion method use_screens analysis_backend cache
-           cache_dir``
-search     ``u p expansion target_space_dim block schedule_bound
-           max_candidates workers overcollect exhaustive primitives``
-simulate   ``u p expansion design seed sim_backend gantt``
-verify     ``seed cases oracle_budget_s oracles``
-=========  ==============================================================
+================  =======================================================
+analyze           ``u p expansion method use_screens analysis_backend
+                  cache cache_dir``
+analyze_symbolic  ``u p expansion cache cache_dir`` (the parametric
+                  analysis is solved once with ``u``/``p`` free, then
+                  instantiated at the spec's concrete sizes in O(1))
+search            ``u p expansion target_space_dim block schedule_bound
+                  max_candidates workers overcollect exhaustive
+                  primitives``
+simulate          ``u p expansion design seed sim_backend gantt``
+verify            ``seed cases oracle_budget_s oracles``
+================  =======================================================
 
 ``budget_s`` applies to every kind: it is the *server-side* wall-clock
 budget for the whole job (a job still running when it expires gets a
@@ -51,7 +55,7 @@ __all__ = [
 ]
 
 JOB_SCHEMA_VERSION = 1
-JOB_KINDS = ("analyze", "search", "simulate", "verify")
+JOB_KINDS = ("analyze", "analyze_symbolic", "search", "simulate", "verify")
 
 _STATUSES = ("ok", "error", "timeout")
 
@@ -250,9 +254,11 @@ def estimate_points(spec: JobSpec) -> int:
     The expanded matmul nest is 5-dimensional -- three word-level axes of
     extent ``u`` and two bit-level axes of extent ``O(p)`` -- so
     ``u^3 * (2p)^2`` tracks the work of analyze/simulate/search within a
-    small constant; verify scales with its case count instead.
+    small constant; verify scales with its case count instead, and a
+    symbolic analysis never enumerates the iteration space at all (its
+    cost is size-independent), so both are exempt from the points ceiling.
     """
-    if spec.kind == "verify":
+    if spec.kind in ("verify", "analyze_symbolic"):
         return 0
     return spec.u ** 3 * (2 * spec.p) ** 2
 

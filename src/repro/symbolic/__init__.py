@@ -1,0 +1,45 @@
+"""Symbolic (parametric) dependence analysis.
+
+The concrete analyzers in :mod:`repro.depanalysis` enumerate solution
+lattices for one ``(u, p)`` at a time.  This package solves the same
+linear Diophantine systems and validity domains with the parameters kept
+free, producing closed-form *dependence families* that instantiate to
+the exact analyzer's output in O(1) for any size:
+
+* :mod:`repro.symbolic.solve` -- the parametric Smith-normal-form solve
+  (symbolic right-hand sides, divisibility reasoning, feasibility
+  predicates);
+* :mod:`repro.symbolic.families` -- the closed-form object model
+  (uniform families over a symbolic sink region; a general fallback for
+  variable-distance dependences);
+* :mod:`repro.symbolic.analyze` -- :func:`analyze_symbolic` and
+  :class:`SymbolicResult` (``instantiate``/``summary``/``count``);
+* :mod:`repro.symbolic.crosscheck` -- the Theorem 3.1 composition
+  cross-check;
+* :mod:`repro.symbolic.serde` -- exact JSON round-trips for the
+  content-addressed artifact store.
+
+See ``docs/SYMBOLIC.md`` for the object model and the cross-validation
+story.
+"""
+
+from repro.symbolic.analyze import SymbolicResult, analyze_symbolic, clear_memo
+from repro.symbolic.crosscheck import crosscheck_theorem31
+from repro.symbolic.families import GeneralFamily, UniformFamily
+from repro.symbolic.solve import (
+    SymbolicSolution,
+    SymbolicUnsupported,
+    solve_symbolic_system,
+)
+
+__all__ = [
+    "GeneralFamily",
+    "SymbolicResult",
+    "SymbolicSolution",
+    "SymbolicUnsupported",
+    "UniformFamily",
+    "analyze_symbolic",
+    "clear_memo",
+    "crosscheck_theorem31",
+    "solve_symbolic_system",
+]

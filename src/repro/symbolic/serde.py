@@ -1,0 +1,137 @@
+"""Exact JSON round-trips for cached symbolic results.
+
+Same contract as :mod:`repro.cache.serde`: a decoded
+:class:`~repro.symbolic.analyze.SymbolicResult` equals what the miss path
+would have computed, expression for expression.  The codecs for the
+shared atoms (:class:`LinExpr`, conditions) are reused from the cache
+layer.
+"""
+
+from __future__ import annotations
+
+from repro.cache.serde import (
+    Unserializable,
+    condition_from_payload,
+    condition_to_payload,
+    linexpr_from_payload,
+    linexpr_to_payload,
+)
+from repro.symbolic.families import (
+    AxisConstraint,
+    Conjunction,
+    GeneralFamily,
+    UniformFamily,
+)
+
+__all__ = [
+    "symbolic_result_from_payload",
+    "symbolic_result_to_payload",
+]
+
+#: bumped whenever the family model changes shape
+PAYLOAD_VERSION = 1
+
+
+def _axis_to_payload(axis: AxisConstraint) -> dict:
+    return {
+        "iv": [
+            [linexpr_to_payload(lo), linexpr_to_payload(hi)]
+            for lo, hi in axis.intervals
+        ],
+        "eq": [linexpr_to_payload(e) for e in axis.eq],
+        "ne": [linexpr_to_payload(e) for e in axis.ne],
+    }
+
+
+def _axis_from_payload(payload) -> AxisConstraint:
+    return AxisConstraint(
+        intervals=tuple(
+            (linexpr_from_payload(lo), linexpr_from_payload(hi))
+            for lo, hi in payload["iv"]
+        ),
+        eq=tuple(linexpr_from_payload(e) for e in payload["eq"]),
+        ne=tuple(linexpr_from_payload(e) for e in payload["ne"]),
+    )
+
+
+def _family_to_payload(fam) -> dict:
+    if isinstance(fam, UniformFamily):
+        return {
+            "type": "uniform",
+            "vector": [linexpr_to_payload(e) for e in fam.vector],
+            "variable": fam.variable,
+            "region": [
+                [_axis_to_payload(a) for a in conj.axes]
+                for conj in fam.region
+            ],
+            "zeros": [linexpr_to_payload(z) for z in fam.zeros],
+        }
+    if isinstance(fam, GeneralFamily):
+        return {
+            "type": "general",
+            "particular": [linexpr_to_payload(e) for e in fam.particular],
+            "basis": [list(row) for row in fam.basis],
+            "variable": fam.variable,
+            "box": [
+                [linexpr_to_payload(lo), linexpr_to_payload(hi)]
+                for lo, hi in fam.box
+            ],
+            "write_guard": condition_to_payload(fam.write_guard),
+            "read_guard": condition_to_payload(fam.read_guard),
+            "zeros": [linexpr_to_payload(z) for z in fam.zeros],
+        }
+    raise Unserializable(f"unknown family type {type(fam).__name__}")
+
+
+def _family_from_payload(payload):
+    if payload["type"] == "uniform":
+        return UniformFamily(
+            vector=tuple(linexpr_from_payload(e) for e in payload["vector"]),
+            variable=payload["variable"],
+            region=tuple(
+                Conjunction(tuple(_axis_from_payload(a) for a in axes))
+                for axes in payload["region"]
+            ),
+            zeros=tuple(linexpr_from_payload(z) for z in payload["zeros"]),
+        )
+    if payload["type"] == "general":
+        return GeneralFamily(
+            particular=tuple(
+                linexpr_from_payload(e) for e in payload["particular"]
+            ),
+            basis=tuple(tuple(row) for row in payload["basis"]),
+            variable=payload["variable"],
+            box=tuple(
+                (linexpr_from_payload(lo), linexpr_from_payload(hi))
+                for lo, hi in payload["box"]
+            ),
+            write_guard=condition_from_payload(payload["write_guard"]),
+            read_guard=condition_from_payload(payload["read_guard"]),
+            zeros=tuple(linexpr_from_payload(z) for z in payload["zeros"]),
+        )
+    raise Unserializable(f"unknown family payload type {payload['type']!r}")
+
+
+def symbolic_result_to_payload(result) -> dict:
+    return {
+        "version": PAYLOAD_VERSION,
+        "index_names": list(result.index_names),
+        "lowers": [linexpr_to_payload(e) for e in result.lowers],
+        "uppers": [linexpr_to_payload(e) for e in result.uppers],
+        "families": [_family_to_payload(f) for f in result.families],
+        "stats": dict(result.stats),
+    }
+
+
+def symbolic_result_from_payload(payload):
+    from repro.symbolic.analyze import SymbolicResult
+
+    if payload.get("version") != PAYLOAD_VERSION:
+        raise ValueError(f"unknown symbolic payload version: {payload!r}")
+    return SymbolicResult(
+        families=tuple(_family_from_payload(f) for f in payload["families"]),
+        index_names=tuple(payload["index_names"]),
+        lowers=tuple(linexpr_from_payload(e) for e in payload["lowers"]),
+        uppers=tuple(linexpr_from_payload(e) for e in payload["uppers"]),
+        stats=dict(payload["stats"]),
+    )

@@ -1,0 +1,161 @@
+"""Parametric integer linear-system solving (the symbolic Smith route).
+
+:func:`repro.util.linalg.solve_integer_system` solves ``A z = b`` for
+*concrete* integer right-hand sides.  Here the subscript coefficient
+matrix ``A`` is still a plain integer matrix (array subscripts in the IR
+have integer coefficients), but the right-hand side entries are
+:class:`~repro.structures.params.LinExpr` values over free nonnegative
+integer parameters such as ``u`` and ``p``.
+
+The Smith normal form ``U A V = D`` is computed once, parameter-free.
+With ``c = U b`` a vector of linear expressions, the solvability and the
+particular solution decompose per invariant factor ``d_i``:
+
+* ``d_i != 0``: the equation ``d_i y_i = c_i`` needs ``d_i | c_i``.  When
+  every coefficient of ``c_i`` (including the constant) is divisible, the
+  quotient is again linear and the system is solvable for *all* bindings;
+  when only the constant term breaks divisibility the system is solvable
+  for *no* binding; a genuinely parameter-dependent congruence (some
+  parameter coefficient indivisible) has no linear closed form and raises
+  :class:`SymbolicUnsupported`.
+* ``d_i == 0`` (and every row beyond ``min(m, n)``): the residual
+  equation ``0 = c_i`` either holds identically, fails for every binding
+  (constant nonzero), or becomes a *feasibility predicate* -- a linear
+  expression that must evaluate to zero -- attached to the solution.
+
+The result is the exact symbolic counterpart of ``(particular, basis)``:
+``particular`` is a vector of linear expressions, ``basis`` the same
+integer lattice basis the concrete solver would return, and ``zeros`` the
+piecewise-feasibility predicates over the parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.structures.params import LinExpr, ParamBinding, as_linexpr
+from repro.util.linalg import smith_normal_form
+
+__all__ = [
+    "SymbolicSolution",
+    "SymbolicUnsupported",
+    "solve_symbolic_system",
+]
+
+
+class SymbolicUnsupported(ValueError):
+    """The system has no linear closed form over the free parameters."""
+
+
+@dataclass(frozen=True)
+class SymbolicSolution:
+    """General solution of ``A z = b(params)`` over the integers.
+
+    For every binding satisfying the ``zeros`` predicates, the concrete
+    solution set is ``{particular(binding) + sum_k t_k basis[k]}`` --
+    identical to what :func:`~repro.util.linalg.solve_integer_system`
+    returns for the instantiated right-hand side.
+    """
+
+    particular: tuple[LinExpr, ...]
+    basis: tuple[tuple[int, ...], ...]
+    #: linear expressions that must evaluate to 0 for a solution to exist
+    zeros: tuple[LinExpr, ...] = field(default=())
+
+    def feasible_at(self, binding: ParamBinding) -> bool:
+        """True when the instantiated system has integer solutions."""
+        return all(z.evaluate(binding) == 0 for z in self.zeros)
+
+    def instantiate(
+        self, binding: ParamBinding
+    ) -> tuple[tuple[int, ...], tuple[tuple[int, ...], ...]] | None:
+        """Concrete ``(particular, basis)`` at ``binding`` (None if infeasible)."""
+        if not self.feasible_at(binding):
+            return None
+        return (
+            tuple(e.evaluate(binding) for e in self.particular),
+            self.basis,
+        )
+
+
+def _congruence_quotient(expr: LinExpr, d: int):
+    """Decide ``d | expr`` identically and divide.
+
+    Returns ``("ok", expr / d)`` when every coefficient is divisible,
+    ``("never", None)`` when indivisibility is confined to the constant
+    term (no binding solves it), and ``("param", None)`` when
+    divisibility depends on the parameter values.
+    """
+    if any(c % d for _name, c in expr.coeffs):
+        return "param", None
+    if expr.const % d:
+        return "never", None
+    return "ok", LinExpr(
+        expr.const // d, {name: c // d for name, c in expr.coeffs}
+    )
+
+
+def _sym_mat_vec(a: list[list[int]], v: list[LinExpr]) -> list[LinExpr]:
+    out = []
+    for row in a:
+        acc = LinExpr(0)
+        for coeff, expr in zip(row, v):
+            if coeff:
+                acc = acc + expr * coeff
+        out.append(acc)
+    return out
+
+
+def solve_symbolic_system(
+    a_rows: list[list[int]], rhs: list
+) -> SymbolicSolution | None:
+    """Solve ``A z = b`` with a symbolic right-hand side.
+
+    Mirrors :func:`repro.util.linalg.solve_integer_system` step for step;
+    ``rhs`` entries may be ints or :class:`LinExpr`.  Returns ``None``
+    when no binding admits an integer solution, raises
+    :class:`SymbolicUnsupported` on parameter-dependent congruences.
+    """
+    m = len(a_rows)
+    n = len(a_rows[0]) if a_rows else 0
+    b = [as_linexpr(x) for x in rhs]
+    if len(b) != m:
+        raise ValueError("rhs length mismatch")
+    if n == 0:
+        zeros = tuple(c for c in b if not (c.is_constant and c.const == 0))
+        if any(z.is_constant for z in zeros):
+            return None
+        return SymbolicSolution((), (), zeros)
+    d, u, v = smith_normal_form(a_rows)
+    c = _sym_mat_vec(u, b)
+    y: list[LinExpr] = [LinExpr(0)] * n
+    zeros: list[LinExpr] = []
+    for i in range(min(m, n)):
+        di = d[i][i]
+        if di == 0:
+            if c[i].is_constant:
+                if c[i].const != 0:
+                    return None
+            else:
+                zeros.append(c[i])
+        else:
+            status, quotient = _congruence_quotient(c[i], di)
+            if status == "never":
+                return None
+            if status == "param":
+                raise SymbolicUnsupported(
+                    f"congruence {di} | {c[i]} depends on the parameters"
+                )
+            y[i] = quotient
+    for i in range(min(m, n), m):
+        if c[i].is_constant:
+            if c[i].const != 0:
+                return None
+        else:
+            zeros.append(c[i])
+    particular = tuple(_sym_mat_vec(v, y))
+    r = sum(1 for i in range(min(m, n)) if d[i][i] != 0)
+    basis = tuple(
+        tuple(v[row][col] for row in range(n)) for col in range(r, n)
+    )
+    return SymbolicSolution(particular, basis, tuple(zeros))

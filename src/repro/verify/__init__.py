@@ -9,6 +9,9 @@ against independent implementations on randomized inputs:
 * :mod:`repro.verify.oracle_analysis` -- the batched (vectorized) analysis
   engine vs. the scalar reference: identical instances and statistics on
   randomized programs;
+* :mod:`repro.verify.oracle_symbolic` -- the parametric (closed-form)
+  analyzer instantiated at randomized and adversarial concrete sizes vs.
+  the concrete analyzer on the same program;
 * :mod:`repro.verify.oracle_mapping` -- Definition 4.1 feasibility verdicts
   vs. exhaustive per-condition rechecking on the concrete index set;
 * :mod:`repro.verify.oracle_simulator` -- bit-level machine executions vs.
@@ -20,43 +23,53 @@ See ``docs/VERIFY.md``.
 """
 
 from repro.verify.generator import (
+    EDGE_SIZES,
     HAVE_HYPOTHESIS,
     AnalysisCase,
     MappingCase,
     SimulatorCase,
     SizeEnvelope,
+    SymbolicCase,
     Theorem31Case,
     gen_analysis_case,
     gen_mapping_case,
     gen_simulator_case,
+    gen_symbolic_case,
     gen_theorem31_case,
 )
 from repro.verify.report import Counterexample, OracleOutcome, VerifyReport
 from repro.verify.runner import (
     ORACLES,
+    SYMBOLIC_MUTATIONS,
     VerifyConfig,
     run_mutation_check,
+    run_symbolic_mutation_check,
     run_verification,
 )
 from repro.verify.shrink import shrink
 
 __all__ = [
+    "EDGE_SIZES",
     "HAVE_HYPOTHESIS",
     "SizeEnvelope",
     "Theorem31Case",
     "AnalysisCase",
     "MappingCase",
     "SimulatorCase",
+    "SymbolicCase",
     "gen_theorem31_case",
     "gen_analysis_case",
     "gen_mapping_case",
     "gen_simulator_case",
+    "gen_symbolic_case",
     "Counterexample",
     "OracleOutcome",
     "VerifyReport",
     "ORACLES",
+    "SYMBOLIC_MUTATIONS",
     "VerifyConfig",
     "run_verification",
     "run_mutation_check",
+    "run_symbolic_mutation_check",
     "shrink",
 ]

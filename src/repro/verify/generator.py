@@ -35,18 +35,21 @@ except ImportError:  # pragma: no cover
     HAVE_HYPOTHESIS = False
 
 __all__ = [
+    "EDGE_SIZES",
     "HAVE_HYPOTHESIS",
     "SizeEnvelope",
     "Theorem31Case",
     "AnalysisCase",
     "MappingCase",
     "SimulatorCase",
+    "SymbolicCase",
     "lex_positive",
     "random_word_vector",
     "gen_theorem31_case",
     "gen_analysis_case",
     "gen_mapping_case",
     "gen_simulator_case",
+    "gen_symbolic_case",
     "word_vector_strategy",
     "theorem31_case_strategy",
     "int_vector_strategy",
@@ -268,6 +271,141 @@ def gen_analysis_case(
         expansion=rng.choice(("I", "II")),
         method=method,
         use_screens=rng.random() < 0.8,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Symbolic-analysis cases
+# ---------------------------------------------------------------------------
+
+#: adversarial concrete sizes: 1, 2, primes, powers of two
+EDGE_SIZES = (1, 2, 3, 4, 5, 7, 8)
+
+
+@dataclass(frozen=True)
+class SymbolicCase:
+    """One symbolic-vs-exact cross-validation instance.
+
+    ``kind`` selects the program family:
+
+    * ``"matmul"`` -- :func:`repro.ir.expand.expand_bit_level` with the
+      extents kept symbolic (every word axis bound to ``u``, the word
+      length to ``p``), the shape every closed-form path must handle;
+    * ``"stride"`` -- a 1-D nest writing ``x(s*j)`` and reading
+      ``x(s*j - o)``: its Diophantine system has invariant factor ``s``,
+      so the congruence reasoning of the symbolic solver (``s | o`` vs.
+      no dependence at all) is genuinely load-bearing -- matmul programs
+      have identity subscripts and never exercise it.
+
+    The differential check instantiates the symbolic analysis at the
+    stored concrete ``(u, p)`` and compares against the concrete analyzer
+    run on the same program with the same binding.
+    """
+
+    kind: str
+    u: int
+    p: int = 2
+    h1: tuple[int, ...] = ()
+    h2: tuple[int, ...] = ()
+    h3: tuple[int, ...] = ()
+    lowers: tuple[int, ...] = ()
+    expansion: str = "II"
+    stride: int = 2
+    offset: int = 1
+    #: concrete analyzer leg of the differential check
+    method: str = "enumerate"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def binding(self) -> dict:
+        """The concrete parameter binding the case instantiates at."""
+        if self.kind == "matmul":
+            return {"u": self.u, "p": self.p}
+        return {"u": self.u}
+
+    def build_program(self):
+        """The loop nest with its parameters kept free."""
+        from repro.structures.params import S
+
+        if self.kind == "matmul":
+            from repro.ir.expand import expand_bit_level
+
+            dim = len(self.h1)
+            return expand_bit_level(
+                self.h1, self.h2, self.h3, self.lowers,
+                tuple(S("u") for _ in range(dim)), S("p"), self.expansion,
+            )
+        if self.kind == "stride":
+            from repro.ir.expr import AffineExpr
+            from repro.ir.program import ArrayAccess, LoopNest, Statement
+            from repro.structures.indexset import IndexSet
+
+            j = AffineExpr.index("j1")
+            stmt = Statement(
+                "S1",
+                ArrayAccess("x", (j * self.stride,)),
+                (ArrayAccess("x", (j * self.stride - self.offset,)),),
+            )
+            return LoopNest(
+                ("j1",),
+                IndexSet((0,), (S("u"),)),
+                (stmt,),
+                name=f"stride-{self.stride}-{self.offset}",
+            )
+        raise ValueError(f"unknown symbolic-case kind {self.kind!r}")
+
+    def shrink_candidates(self) -> Iterator["SymbolicCase"]:
+        for smaller in _shrink_int(self.u, 1):
+            yield replace(self, u=smaller)
+        if self.kind == "matmul":
+            for smaller in _shrink_int(self.p, 1):
+                yield replace(self, p=smaller)
+            for name in ("h1", "h2", "h3"):
+                for vec in _shrink_vector(getattr(self, name), lex_positive):
+                    yield replace(self, **{name: vec})
+        else:
+            for smaller in _shrink_int(self.offset, 1):
+                yield replace(self, offset=smaller)
+        if self.method == "exact":
+            yield replace(self, method="enumerate")
+
+
+def gen_symbolic_case(
+    rng: random.Random, env: SizeEnvelope = SizeEnvelope()
+) -> SymbolicCase:
+    """Draw a random symbolic cross-validation case inside the envelope.
+
+    Concrete sizes come from :data:`EDGE_SIZES` (clipped to the envelope)
+    rather than a uniform range: off-by-one and divisibility bugs live at
+    1, 2, primes and powers of two.  Word lengths include ``p = 1``, the
+    degenerate single-bit word.
+    """
+    if rng.random() < 0.25:
+        stride = rng.choice((2, 3))
+        u_pool = [s for s in EDGE_SIZES if s <= 2 * env.max_extent]
+        return SymbolicCase(
+            kind="stride",
+            u=rng.choice(u_pool),
+            stride=stride,
+            # about half the draws are indivisible by the stride: the
+            # "no dependence at any size" verdict must be exercised too
+            offset=rng.randint(1, 3 * stride),
+            method=rng.choice(("exact", "enumerate")),
+        )
+    dim = rng.choice(env.word_dims)
+    u_pool = [s for s in EDGE_SIZES if s <= env.max_extent] or [1, 2]
+    method = "exact" if dim == 1 and rng.random() < 0.25 else "enumerate"
+    return SymbolicCase(
+        kind="matmul",
+        h1=random_word_vector(rng, dim, env.max_step),
+        h2=random_word_vector(rng, dim, env.max_step),
+        h3=random_word_vector(rng, dim, env.max_step),
+        lowers=(1,) * dim,
+        u=rng.choice(u_pool),
+        p=rng.randint(1, env.max_p),
+        expansion=rng.choice(("I", "II")),
+        method=method,
     )
 
 

@@ -26,6 +26,7 @@ from repro.verify import (
     oracle_analysis,
     oracle_mapping,
     oracle_simulator,
+    oracle_symbolic,
     oracle_theorem31,
 )
 from repro.verify.generator import SizeEnvelope
@@ -34,16 +35,19 @@ from repro.verify.shrink import shrink
 
 __all__ = [
     "ORACLES",
+    "SYMBOLIC_MUTATIONS",
     "VerifyConfig",
     "run_verification",
     "run_mutation_check",
+    "run_symbolic_mutation_check",
 ]
 
 #: name -> oracle module (each exports NAME, generate, check)
 ORACLES = {
     module.NAME: module
     for module in (
-        oracle_theorem31, oracle_analysis, oracle_mapping, oracle_simulator
+        oracle_theorem31, oracle_analysis, oracle_symbolic,
+        oracle_mapping, oracle_simulator,
     )
 }
 
@@ -58,7 +62,9 @@ class VerifyConfig:
     #: wall-clock budget per oracle in seconds (None = unbounded)
     budget_s: float | None = None
     #: which oracles to run, in order
-    oracles: Sequence[str] = ("theorem31", "analysis", "mapping", "simulator")
+    oracles: Sequence[str] = (
+        "theorem31", "analysis", "symbolic", "mapping", "simulator"
+    )
     envelope: SizeEnvelope = field(default_factory=SizeEnvelope)
     max_shrink_steps: int = 200
     #: stop an oracle after this many counterexamples (they are near-certainly
@@ -199,3 +205,90 @@ def run_mutation_check(
         return report.counterexamples[0] if report.counterexamples else None
     finally:
         verify_mod.bit_level_structure = real
+
+
+def _mutant_congruence_quotient(expr, d):
+    """Seeded bug: the divisibility check is dropped entirely -- every
+    congruence ``d | c_i`` is declared satisfiable and floor-divided.
+
+    Invisible on the matmul programs (identity subscripts make every
+    invariant factor 1, so the quotient is exact), which is precisely why
+    the generator's strided cases exist: a stride-``s`` read with an
+    offset indivisible by ``s`` has *no* dependence at any size, while
+    the mutant manufactures a spurious closed-form family.
+    """
+    from repro.structures.params import LinExpr
+
+    return "ok", LinExpr(
+        expr.const // d, {name: c // d for name, c in expr.coeffs}
+    )
+
+
+def _mutant_shifted_bounds(lo, hi, delta):
+    """Seeded bug: the source-in-box window in sink coordinates is one too
+    wide at the top, admitting one extra sink per constrained axis."""
+    return lo + delta, hi + delta + 1
+
+
+#: mutation name -> (module path, attribute, mutant callable)
+SYMBOLIC_MUTATIONS = {
+    "dropped-congruence": (
+        "repro.symbolic.solve", "_congruence_quotient",
+        _mutant_congruence_quotient,
+    ),
+    "shifted-bound": (
+        "repro.symbolic.families", "shifted_bounds",
+        _mutant_shifted_bounds,
+    ),
+}
+
+
+def run_symbolic_mutation_check(
+    mutation: str = "dropped-congruence",
+    seed: int = 0,
+    cases: int = 40,
+    envelope: SizeEnvelope = SizeEnvelope(),
+    max_shrink_steps: int = 200,
+) -> Counterexample | None:
+    """Self-test: seed a deliberate bug into the symbolic solver and
+    confirm the sampling cross-validation oracle catches it.
+
+    ``mutation`` names an entry of :data:`SYMBOLIC_MUTATIONS`.  Returns
+    the shrunken counterexample (the *expected* outcome), or ``None`` if
+    the mutant survived the run -- the oracle has lost its teeth.  The
+    in-process symbolic memo is cleared on entry and exit so neither
+    clean results mask the mutant nor mutant results leak out.
+    """
+    import importlib
+
+    from repro.symbolic.analyze import clear_memo
+
+    try:
+        module_path, attr, mutant = SYMBOLIC_MUTATIONS[mutation]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {mutation!r}; "
+            f"choose from {sorted(SYMBOLIC_MUTATIONS)}"
+        ) from None
+    target = importlib.import_module(module_path)
+    real = getattr(target, attr)
+    setattr(target, attr, mutant)
+    clear_memo()
+    try:
+        config = VerifyConfig(
+            seed=seed,
+            cases=cases,
+            oracles=("symbolic",),
+            envelope=envelope,
+            max_shrink_steps=max_shrink_steps,
+            max_counterexamples=1,
+        )
+        report = run_verification(config)
+        obs.count(
+            "verify.symbolic_mutation.caught",
+            int(bool(report.counterexamples)),
+        )
+        return report.counterexamples[0] if report.counterexamples else None
+    finally:
+        setattr(target, attr, real)
+        clear_memo()

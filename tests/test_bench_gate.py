@@ -36,13 +36,14 @@ class TestGateRuns:
         assert {c.name for c in report.checks} == {
             "analysis_batched", "analysis_cache_warm",
             "simulator_wavefront", "search_memo_hits",
+            "symbolic_instantiate",
         }
         (record,) = [
             json.loads(line) for line in history.read_text().splitlines()
         ]
         assert record["ok"] is True
         assert record["timestamp"] > 0
-        assert len(record["checks"]) == 4
+        assert len(record["checks"]) == 5
         assert "environment" in record
 
     def test_injected_slowdown_fails(self, tmp_path):
@@ -54,7 +55,10 @@ class TestGateRuns:
         failed = {c.name for c in report.checks if not c.passed}
         # Every timing-ratio check must trip; the structural memo check
         # is unaffected by a slowdown.
-        assert failed >= {"analysis_batched", "simulator_wavefront"}
+        assert failed >= {
+            "analysis_batched", "simulator_wavefront",
+            "symbolic_instantiate",
+        }
         (record,) = [
             json.loads(line) for line in history.read_text().splitlines()
         ]

@@ -8,6 +8,8 @@ from hypothesis import given, settings, strategies as st
 from repro.depanalysis.diophantine import (
     UnboundedLatticeError,
     bounded_lattice_points,
+    lattice_intervals,
+    reduce_basis,
 )
 
 
@@ -57,21 +59,25 @@ class TestBasics:
         }
         assert pts == {(1, 1), (1, 2), (2, 1), (2, 2)}
 
-    def test_unbounded_raises(self):
-        # A zero basis vector leaves its lattice coordinate unconstrained.
-        with pytest.raises(UnboundedLatticeError):
-            list(
-                bounded_lattice_points([0, 0], [[0, 0]], [(0, 5), (0, 5)])
-            )
+    def test_zero_basis_vector_reduced(self):
+        # A zero basis vector adds nothing to the lattice: the solution set
+        # is just the particular point (this used to raise
+        # UnboundedLatticeError because t_0 had no box constraint).
+        pts = list(
+            bounded_lattice_points([0, 0], [[0, 0]], [(0, 5), (0, 5)])
+        )
+        assert pts == [[0, 0]]
 
-    def test_parallel_directions_unbounded(self):
-        # Two identical directions: only their sum is constrained.
-        with pytest.raises(UnboundedLatticeError):
-            list(
-                bounded_lattice_points(
-                    [0, 0], [[1, 2], [1, 2]], [(0, 5), (0, 5)]
-                )
+    def test_parallel_directions_reduced(self):
+        # Two identical generators span a rank-1 lattice; each solution
+        # must be visited exactly once despite the redundant direction.
+        pts = list(
+            bounded_lattice_points(
+                [0, 0], [[1, 2], [1, 2]], [(0, 5), (0, 5)]
             )
+        )
+        assert sorted(map(tuple, pts)) == [(0, 0), (1, 2), (2, 4)]
+        assert len(pts) == len({tuple(x) for x in pts})
 
     def test_coupled_direction_bounded(self):
         # Direction (1, -1): both coordinates boxed, so t is bounded.
@@ -99,6 +105,61 @@ class TestBasics:
         assert list(bounded_lattice_points([0], [[10]], [(1, 5)])) == []
 
 
+class TestRankDeficientRegression:
+    """The latent duplicate-solution issue: a rank-deficient generator set
+    makes ``t̄ -> x`` non-injective.  The old code refused such inputs with
+    ``UnboundedLatticeError``; the fix reduces the generators to an
+    independent basis of the same lattice and enumerates exactly once."""
+
+    def test_reduce_basis_keeps_independent_bases_verbatim(self):
+        basis = [[1, 0], [0, 2]]
+        assert reduce_basis(basis) == [[1, 0], [0, 2]]
+
+    def test_reduce_basis_drops_zero_rows(self):
+        assert reduce_basis([[0, 0], [0, 3]]) == [[0, 3]]
+        assert reduce_basis([[0, 0]]) == []
+
+    def test_reduce_basis_same_lattice(self):
+        # {[2,0],[1,1],[3,1]} is rank 2; the reduced basis must generate
+        # the same lattice (compare by membership over a window).
+        basis = [[2, 0], [1, 1], [3, 1]]
+        reduced = reduce_basis(basis)
+        assert len(reduced) == 2
+
+        def span(vectors, t_range=6):
+            out = set()
+            for ts in itertools.product(
+                range(-t_range, t_range + 1), repeat=len(vectors)
+            ):
+                x = [0, 0]
+                for t, vec in zip(ts, vectors):
+                    x = [a + t * b for a, b in zip(x, vec)]
+                if all(-4 <= c <= 4 for c in x):
+                    out.add(tuple(x))
+            return out
+
+        assert span(reduced) == span(basis)
+
+    def test_dependent_generators_enumerate_exactly_once(self):
+        pts = list(
+            bounded_lattice_points(
+                [0, 0], [[1, 1], [2, 2], [0, 0]], [(0, 4), (0, 4)]
+            )
+        )
+        assert sorted(map(tuple, pts)) == [
+            (0, 0), (1, 1), (2, 2), (3, 3), (4, 4)
+        ]
+        assert len(pts) == len(set(map(tuple, pts)))
+
+    def test_lattice_intervals_reduces_too(self):
+        # Degenerate generators used to raise; the intervals now describe
+        # the reduced (independent) directions.
+        intervals = lattice_intervals(
+            [0, 0], [[1, 2], [1, 2]], [(0, 5), (0, 5)]
+        )
+        assert intervals == [(0, 2)]
+
+
 class TestAgainstBruteForce:
     @given(
         st.lists(st.integers(-4, 4), min_size=2, max_size=3),
@@ -115,16 +176,14 @@ class TestAgainstBruteForce:
             (vec * n)[:n] for vec in basis
         ]
         bounds = [(-3, 3)] * n
-        try:
-            got = {
-                tuple(x)
-                for x in bounded_lattice_points(particular, basis, bounds)
-            }
-        except UnboundedLatticeError:
-            # Some basis vector is null or escapes the box constraints;
-            # brute force over a window can't certify either, skip.
-            return
+        yielded = [
+            tuple(x)
+            for x in bounded_lattice_points(particular, basis, bounds)
+        ]
+        got = set(yielded)
         want = brute_force(particular, basis, bounds)
-        # The enumerator must produce exactly the lattice points in the box
-        # (duplicates allowed if basis is degenerate; compare as sets).
+        # The enumerator must produce exactly the lattice points in the box,
+        # each exactly once -- degenerate generator sets included, now that
+        # they are reduced to an independent basis up front.
         assert got == want
+        assert len(yielded) == len(got)

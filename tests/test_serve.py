@@ -29,7 +29,7 @@ from repro.serve import dispatch as dispatch_mod
 
 def _norm(text: str) -> str:
     """Mask wall-clock timings so outputs can be compared byte-wise."""
-    return re.sub(r"\d+\.\d+s", "Ts", text)
+    return re.sub(r"\d+\.\d+ms", "Tms", re.sub(r"\d+\.\d+s", "Ts", text))
 
 
 # ---------------------------------------------------------------------------
@@ -104,6 +104,10 @@ class TestDispatchParity:
         (
             ["analyze", "--u", "2", "--p", "2", "--no-cache"],
             JobSpec(kind="analyze", u=2, p=2, cache=False),
+        ),
+        (
+            ["analyze", "--symbolic", "--u", "2", "--p", "2", "--no-cache"],
+            JobSpec(kind="analyze_symbolic", u=2, p=2, cache=False),
         ),
         (
             ["search", "--u", "2", "--p", "2", "--max-candidates", "2"],
@@ -364,6 +368,71 @@ class TestServerBudget:
 
 
 # ---------------------------------------------------------------------------
+# The analyze_symbolic job kind
+# ---------------------------------------------------------------------------
+
+class TestSymbolicJobs:
+    def test_spec_round_trip_and_job_key(self):
+        spec = JobSpec(kind="analyze_symbolic", u=64, p=64, cache=False)
+        again = JobSpec.from_payload(json.loads(json.dumps(spec.to_payload())))
+        assert again == spec
+        assert job_key(again) == job_key(spec)
+        other = JobSpec(kind="analyze_symbolic", u=65, p=64, cache=False)
+        assert job_key(other) != job_key(spec)
+        # Same sizes, different kind: different computation, different key.
+        concrete = JobSpec(kind="analyze", u=64, p=64, cache=False)
+        assert job_key(concrete) != job_key(spec)
+
+    def test_huge_sizes_admitted_under_points_ceiling(self):
+        # The symbolic path never enumerates the iteration space, so the
+        # admission estimate is 0 regardless of u/p -- u=p=1024 runs even
+        # on a server that refuses a u=3 concrete analysis.
+        limits = JobLimits(max_points=10)
+        spec = JobSpec(kind="analyze_symbolic", u=1024, p=1024, cache=False)
+        result = run_job(spec, limits=limits)
+        assert result.ok
+        assert result.data["closed_form"] is True
+        assert result.data["instances"] > 4_000_000_000_000_000
+        refused = run_job(JobSpec(kind="analyze", u=3, p=3), limits=limits)
+        assert refused.status == "error"
+        assert "budget" in refused.error
+
+    def test_data_agrees_with_concrete_analysis(self):
+        symbolic = run_job(
+            JobSpec(kind="analyze_symbolic", u=2, p=2, cache=False)
+        )
+        concrete = run_job(JobSpec(kind="analyze", u=2, p=2, cache=False))
+        assert symbolic.ok and concrete.ok
+        assert symbolic.data["instances"] == concrete.data["instances"]
+        assert (
+            symbolic.data["distinct_vectors"]
+            == concrete.data["distinct_vectors"]
+        )
+
+    def test_identical_symbolic_jobs_coalesce(self, server):
+        client = ServeClient(port=server.port)
+        spec = JobSpec(kind="analyze_symbolic", u=256, p=256, cache=False)
+        first = client.run(spec, timeout=60)
+        assert first.ok
+        submitted = client.submit(spec)
+        assert submitted["coalesced"] is True
+        again = client.wait(submitted["job_id"], timeout=30)
+        assert again.to_payload() == first.to_payload()
+        stats = client.stats()["server"]
+        assert stats["serve.jobs_submitted"] == 2
+        assert stats["serve.jobs_coalesced"] == 1
+        assert stats["serve.executions"] == 1
+
+    def test_server_output_matches_direct_dispatch(self, server):
+        client = ServeClient(port=server.port)
+        spec = JobSpec(kind="analyze_symbolic", u=7, p=5, cache=False)
+        served = client.run(spec, timeout=60)
+        direct = run_job(spec)
+        assert served.ok
+        assert _norm(served.output) == _norm(direct.output)
+
+
+# ---------------------------------------------------------------------------
 # The promoted public API and its deprecation shims
 # ---------------------------------------------------------------------------
 
@@ -375,6 +444,15 @@ class TestPublicApi:
         assert callable(repro.search_designs)
         assert callable(repro.simulate)
         assert callable(repro.verify_run)
+        assert callable(repro.analyze_symbolic)
+
+    def test_analyze_symbolic_wrapper(self):
+        import repro
+
+        result = repro.analyze_symbolic(u=1024, p=1024, cache=False)
+        assert result.ok
+        assert result.data["closed_form"] is True
+        assert result.data["instances"] > 4_000_000_000_000_000
 
     def test_simulate_wrapper(self):
         import repro

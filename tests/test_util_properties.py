@@ -20,6 +20,7 @@ from repro.depanalysis.diophantine import (
     UnboundedLatticeError,
     bounded_lattice_points,
     lattice_intervals,
+    reduce_basis,
 )
 from repro.util.intmath import (
     ceil_div,
@@ -300,6 +301,10 @@ def test_lattice_enumeration_matches_brute_force(n, data):
         volume *= max(0, hi - lo + 1)
     if volume > 20_000:  # near-degenerate basis: skip the exhaustive scan
         return
-    expected = _brute_force_lattice(particular, basis, bounds, intervals)
+    # lattice_intervals' bounds correspond to the reduced basis
+    # directions (rank-deficient generator sets are HNF-reduced first).
+    expected = _brute_force_lattice(
+        particular, reduce_basis(basis), bounds, intervals
+    )
     assert set(points) == expected
     assert len(points) == len(set(points))  # each solution yielded once
