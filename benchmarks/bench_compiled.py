@@ -1,0 +1,294 @@
+"""Benchmark: the compiled backend vs wavefront and pointwise.
+
+Times the ``compiled`` per-design codegen engine against the other two
+backends on the same bit-level matmul instances and checks they agree
+exactly -- same product, same :class:`SimulationResult`, same
+``machine.*`` metrics -- so the speedup is measured on provably
+identical work.  Also measures the two compilation costs the cache
+amortizes: the cold compile and the warm artifact-store load.
+
+Besides the pytest-benchmark kernels, this module doubles as a script:
+
+* ``python benchmarks/bench_compiled.py --smoke`` runs the u=p=8
+  add-shift instance on all three backends, asserts identical results
+  and a >= 3x compiled-vs-wavefront speedup -- the CI guard.
+* ``python benchmarks/bench_compiled.py --record`` measures the same
+  instance plus cold-compile / warm-cache-load timings and updates
+  ``BENCH_compiled.json`` at the repo root.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import tempfile
+import time
+
+import pytest
+
+from repro import obs
+from repro.compile.plan import clear_plan_memo
+from repro.compile.runner import clear_program_memo
+from repro.experiments.tables import format_table
+from repro.machine.bitlevel import BitLevelMatmulMachine
+from repro.mapping import designs
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_compiled.json"
+
+
+def _operands(u, p, seed=0):
+    rng = random.Random(seed)
+    x = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+    y = [[rng.randrange(1 << p) for _ in range(u)] for _ in range(u)]
+    return x, y
+
+
+def _timed_run(u, p, backend, repeats=3, expansion="II", design="fig4",
+               warmup=0):
+    """Best-of-N wall clock plus the (identical) run and metrics.
+
+    Timing happens without an active metrics registry (per-PE gauge
+    emission is a backend-invariant constant that would dilute the
+    engine ratio); one extra collected run supplies the metrics for the
+    identity assertions.
+    """
+    x, y = _operands(u, p)
+    mapping = (
+        designs.fig5_mapping(p) if design == "fig5" else designs.fig4_mapping(p)
+    )
+    machine = BitLevelMatmulMachine(u, p, mapping, expansion, backend=backend)
+    for _ in range(warmup):
+        machine.run(x, y)  # compile/allocator warm-up outside the clock
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        machine.run(x, y)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    with obs.collecting() as reg:
+        out = machine.run(x, y)
+    metrics = obs.metrics_dict(reg)
+    return best, out, metrics
+
+
+def _assert_identical(runs, metrics, label):
+    """``runs``/``metrics`` keyed by backend; pointwise is the reference."""
+    ref = runs["pointwise"]
+    m_ref = metrics["pointwise"]
+    for backend, run in runs.items():
+        if backend == "pointwise":
+            continue
+        m = metrics[backend]
+        assert ref.product == run.product, f"{label}/{backend}: product diverged"
+        assert ref.sim == run.sim, f"{label}/{backend}: result diverged"
+        assert m_ref["counters"] == m["counters"], (
+            f"{label}/{backend}: counters diverged"
+        )
+        assert m_ref["gauges"] == m["gauges"], (
+            f"{label}/{backend}: gauges diverged"
+        )
+
+
+def _compile_timings(u, p):
+    """(cold_compile_s, warm_cache_load_s): one full run each, the first
+    with every memo and cache empty, the second loading the kernel
+    payload from a fresh artifact store."""
+    x, y = _operands(u, p)
+    mapping = designs.fig4_mapping(p)
+
+    def run_once():
+        machine = BitLevelMatmulMachine(u, p, mapping, "II", backend="compiled")
+        return machine.run(x, y)
+
+    saved = os.environ.pop("REPRO_CACHE_DIR", None)
+    try:
+        cold = None
+        for _ in range(2):
+            clear_program_memo()
+            clear_plan_memo()
+            t0 = time.perf_counter()
+            run_once()
+            elapsed = time.perf_counter() - t0
+            cold = elapsed if cold is None else min(cold, elapsed)
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            os.environ["REPRO_CACHE_DIR"] = cache_dir
+            clear_program_memo()
+            run_once()  # populate the store
+            warm = None
+            for _ in range(2):
+                clear_program_memo()  # forget the program, keep the disk entry
+                t0 = time.perf_counter()
+                run_once()
+                elapsed = time.perf_counter() - t0
+                warm = elapsed if warm is None else min(warm, elapsed)
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+        if saved is not None:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    return cold, warm
+
+
+def _three_way(u, p, repeats):
+    runs, metrics, times = {}, {}, {}
+    for backend in ("pointwise", "wavefront", "compiled"):
+        # The fast engines run in a few ms where allocator/frequency
+        # warm-up dominates the first several iterations; give them
+        # untimed warm-up runs and a deeper best-of.
+        reps = 1 if backend == "pointwise" else max(repeats, 5)
+        warm = 0 if backend == "pointwise" else 3
+        times[backend], runs[backend], metrics[backend] = _timed_run(
+            u, p, backend, repeats=reps, warmup=warm
+        )
+    _assert_identical(runs, metrics, f"u={u} p={p}")
+    return runs, metrics, times
+
+
+# -- pytest-benchmark kernels -----------------------------------------------
+
+U, P = 4, 4
+X, Y = _operands(U, P)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(report_writer):
+    yield
+    rows = []
+    data_rows = []
+    for u, p in ((4, 4), (6, 6)):
+        t_wf, run_wf, m_wf = _timed_run(u, p, "wavefront", repeats=2)
+        t_c, run_c, m_c = _timed_run(u, p, "compiled", repeats=2)
+        assert run_wf.product == run_c.product
+        assert run_wf.sim == run_c.sim
+        assert m_wf["counters"] == m_c["counters"]
+        rows.append(
+            (u, p, run_wf.sim.computations, f"{t_wf * 1e3:.1f}",
+             f"{t_c * 1e3:.1f}", f"{t_wf / t_c:.1f}x")
+        )
+        data_rows.append({
+            "u": u, "p": p, "points": run_wf.sim.computations,
+            "wavefront_s": round(t_wf, 4), "compiled_s": round(t_c, 4),
+            "speedup": round(t_wf / t_c, 2), "identical": True,
+        })
+    text = format_table(
+        ["u", "p", "points", "wavefront ms", "compiled ms", "speedup"],
+        rows,
+        title="Compiled backend: add-shift bit-level matmul (fig4, exp II)",
+    )
+    report_writer(
+        "compiled-backend", text,
+        data={"backend": "compiled-vs-wavefront", "rows": data_rows},
+    )
+
+
+def test_bench_compiled_backend(benchmark):
+    machine = BitLevelMatmulMachine(
+        U, P, designs.fig4_mapping(P), "II", backend="compiled"
+    )
+    machine.run(X, Y)  # compile outside the timed region
+    out = benchmark(machine.run, X, Y)
+    assert out.sim.makespan == designs.t_fig4(U, P)
+
+
+def test_bench_compiled_cold_compile(benchmark):
+    mapping = designs.fig4_mapping(P)
+
+    def cold():
+        clear_program_memo()
+        machine = BitLevelMatmulMachine(U, P, mapping, "II", backend="compiled")
+        return machine.run(X, Y)
+
+    out = benchmark(cold)
+    assert out.sim.makespan == designs.t_fig4(U, P)
+
+
+# -- script modes -----------------------------------------------------------
+
+def _smoke() -> int:
+    u = p = 8
+    runs, _, times = _three_way(u, p, repeats=3)
+    speedup_wf = times["wavefront"] / times["compiled"]
+    speedup_pw = times["pointwise"] / times["compiled"]
+    print(f"smoke: u={u} p={p} ({runs['pointwise'].sim.computations} points)  "
+          f"pointwise {times['pointwise'] * 1e3:.1f} ms  "
+          f"wavefront {times['wavefront'] * 1e3:.1f} ms  "
+          f"compiled {times['compiled'] * 1e3:.1f} ms  "
+          f"speedup {speedup_wf:.1f}x vs wavefront, {speedup_pw:.1f}x vs "
+          f"pointwise  identical=True")
+    assert speedup_wf >= 3.0, (
+        f"compiled speedup {speedup_wf:.2f}x vs wavefront is below the "
+        f"3x smoke floor"
+    )
+    return 0
+
+
+def _record(repeats: int) -> int:
+    u = p = 8
+    print(f"recording u={u} p={p} add-shift instance (best of {repeats})...")
+    runs, metrics, times = _three_way(u, p, repeats)
+    speedup_wf = times["wavefront"] / times["compiled"]
+    speedup_pw = times["pointwise"] / times["compiled"]
+    print(f"pointwise: {times['pointwise']:.3f}s  "
+          f"wavefront: {times['wavefront']:.3f}s  "
+          f"compiled: {times['compiled']:.4f}s  "
+          f"speedup {speedup_wf:.1f}x / {speedup_pw:.1f}x  identical=True")
+
+    cold, warm = _compile_timings(u, p)
+    print(f"cold compile+run: {cold * 1e3:.1f} ms  "
+          f"warm cache load+run: {warm * 1e3:.1f} ms")
+
+    m_c = metrics["compiled"]
+    data = {}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+    data.update({
+        "instance": {
+            "algorithm": "bit-level matmul (add-shift lattice)",
+            "u": u, "p": p, "design": "fig4", "expansion": "II",
+            "points": runs["pointwise"].sim.computations,
+        },
+        "environment": obs.environment_info(),
+        "engine": {
+            "pointwise": {"seconds": round(times["pointwise"], 4)},
+            "wavefront": {"seconds": round(times["wavefront"], 4)},
+            "compiled": {
+                "seconds": round(times["compiled"], 4),
+                "cold_compile_seconds": round(cold, 4),
+                "warm_cache_load_seconds": round(warm, 4),
+                "store_reads": m_c["counters"].get("machine.store_reads"),
+                "store_writes": m_c["counters"].get("machine.store_writes"),
+            },
+            "results_identical_across_backends": True,
+            "speedup_compiled_vs_wavefront": round(speedup_wf, 2),
+            "speedup_compiled_vs_pointwise": round(speedup_pw, 2),
+        },
+    })
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_FILE}")
+    assert speedup_wf >= 3.0, (
+        f"compiled speedup {speedup_wf:.2f}x vs wavefront is below the "
+        f"3x record floor"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true",
+                      help="u=p=8 on all three backends; assert equal "
+                           "results and >= 3x over wavefront")
+    mode.add_argument("--record", action="store_true",
+                      help="measure u=p=8 plus cold-compile and warm-cache "
+                           "timings; update BENCH_compiled.json")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats for --record (best-of)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    return _record(args.repeats)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

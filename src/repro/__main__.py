@@ -172,8 +172,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         obs.gauge("cache.bytes_on_disk", st["bytes"])
         obs.gauge("cache.entries", st["entries"])
         return 0
-    removed = cache.clear()
-    print(f"cleared {removed} entries under {cache.base}")
+    kind = getattr(args, "kind", None)
+    removed = cache.clear(kind=kind)
+    what = f"{kind} entries" if kind else "entries"
+    print(f"cleared {removed} {what} under {cache.base}")
     return 0
 
 
@@ -381,8 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--design", choices=["fig4", "fig5"], default="fig4")
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument(
-        "--backend", choices=["pointwise", "wavefront"], default=None,
-        help="simulator engine (default: REPRO_SIM_BACKEND or pointwise)",
+        "--backend", choices=["pointwise", "wavefront", "compiled"],
+        default=None,
+        help="simulator engine (default: REPRO_SIM_BACKEND or pointwise); "
+        "'compiled' runs per-design codegen kernels (see docs/COMPILE.md)",
     )
     p_sim.add_argument("--gantt", action="store_true", help="print PE chart")
     _server_option(p_sim)
@@ -427,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument(
         "--dir", default=None,
         help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p_cache.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="with 'clear': remove only entries of this kind "
+        "(e.g. kernel, analysis)",
     )
     _obs_options(p_cache, top_level=False)
     p_cache.set_defaults(fn=_cmd_cache)

@@ -281,10 +281,16 @@ class ArtifactCache:
             "store": store_totals,
         }
 
-    def clear(self) -> int:
-        """Remove every versioned cache dir under the base; returns entries
-        removed.  Only ``v*`` subdirectories are touched, so pointing
-        ``REPRO_CACHE_DIR`` at a shared directory cannot lose user data."""
+    def clear(self, kind: str | None = None) -> int:
+        """Remove cache entries; returns the number removed.
+
+        With ``kind=None``, every versioned cache dir under the base is
+        removed (only ``v*`` subdirectories are touched, so pointing
+        ``REPRO_CACHE_DIR`` at a shared directory cannot lose user
+        data).  With a ``kind`` (e.g. ``"kernel"``), only that kind's
+        subtree is removed from each versioned dir -- other artifact
+        kinds and the stats ledger stay intact.
+        """
         import shutil
 
         removed = 0
@@ -295,11 +301,15 @@ class ArtifactCache:
         except OSError:
             return 0
         for vdir in version_dirs:
+            target = vdir if kind is None else vdir / kind
+            if not target.is_dir():
+                continue
             removed += sum(
-                1 for p in vdir.rglob("*.json") if p.parent != vdir
+                1 for p in target.rglob("*.json") if p.parent != vdir
             )
-            shutil.rmtree(vdir, ignore_errors=True)
-        self._flushed = self._session_counts()  # ledger gone; don't re-add
+            shutil.rmtree(target, ignore_errors=True)
+        if kind is None:
+            self._flushed = self._session_counts()  # ledger gone; don't re-add
         return removed
 
     def __repr__(self) -> str:

@@ -1,0 +1,47 @@
+"""Per-design compilation: from a space-time mapping to a specialized kernel.
+
+Once a design ``T`` is fixed, the structure the simulator re-derives per
+run -- schedule tables, slot grouping, gather/scatter index plans, the
+structural read/write census -- is a constant of the design.  This
+package resolves it once:
+
+* :mod:`repro.compile.plan` -- memoized schedule plans (the run-invariant
+  lattice/times/slots structure), shared with the wavefront backend;
+* :mod:`repro.compile.matmul` / :mod:`repro.compile.word` -- design
+  compilers that emit loop-free, ``exec``-compiled NumPy kernels for the
+  bit-level and word-level matmul lattices;
+* :mod:`repro.compile.runner` -- the ``compiled`` simulation backend:
+  program memo, artifact-store persistence (kind ``"kernel"``), and the
+  execution harness producing bit-identical results and metrics versus
+  the pointwise and wavefront backends.
+
+See ``docs/COMPILE.md``.
+"""
+
+from repro.compile.plan import (
+    GenericPlan,
+    SchedulePlan,
+    clear_plan_memo,
+    generic_plan_for,
+    plan_for,
+)
+
+__all__ = [
+    "GenericPlan",
+    "SchedulePlan",
+    "clear_plan_memo",
+    "generic_plan_for",
+    "plan_for",
+    "run_compiled",
+    "clear_program_memo",
+]
+
+
+def __getattr__(name):
+    # The runner pulls in the machine layer; load it on demand so that
+    # importing the plan helpers stays cheap and cycle-free.
+    if name in ("run_compiled", "clear_program_memo"):
+        from repro.compile import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

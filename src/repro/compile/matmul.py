@@ -1,0 +1,465 @@
+"""The design compiler for the bit-level matmul lattice.
+
+Specializes the add-shift compressor lattice of Example 3.1 (Expansion I
+or II) to one concrete design ``T`` and problem size: everything the
+wavefront slot kernel re-derives per run -- slot grouping, per-slot
+neighbor masks, the five-subscript fancy indexing, boundary re-route
+targets, the structural read/write census -- is resolved here, once, into
+flat int32 index plans and generated loop-free NumPy source.
+
+The generated kernel operates on *flattened* ``(u, u, u, p, p)`` C-order
+value arrays, so every neighbor access is a precomputed flat index:
+
+* own position ``o = ((((a·u + b)·u + c)·p + d)·p + e)``;
+* the in-row carry source is ``o - 1`` (``i2 - 1``), the Expansion sites
+  sit at ``o - p²`` (``j3 - 1``), ``o - p + 1`` (``i1 - 1, i2 + 1``) and
+  ``o - 2`` (``i2 - 2``);
+* boundary re-routes (carries crossing ``i2 = p``) fall into three
+  compile-time classes with *constant* schedule displacement: the ``C``
+  carry re-route (``Δt = π₄``), and the ``C2`` re-route from ``i2 = p-1``
+  (``Δt = π₄ + π₅``) and from ``i2 = p`` (``Δt = 2π₄``).  Classes with
+  ``Δt >= 1`` compile to a plain scatter; classes with ``Δt < 1`` compile
+  to a guard that raises the wavefront backend's exact causality error
+  iff a re-routed carry is actually realized at run time.
+
+What stays at run time is exactly the data-dependent part: gathering the
+operand bit products, summing carries, the compressor-overflow check,
+``max_summands``, and the realized/dropped re-route counts.  Everything
+value-independent (store reads, causality checks, link traffic, keep
+writes) is a compile-time constant folded into the returned
+:class:`~repro.machine.wavefront.SlotCounters`.
+
+Programs serialize to JSON payloads (base64 little-endian int32 streams)
+for the artifact store; loading a payload rebuilds the index plans and
+re-emits + ``exec``-compiles the source, producing byte-identical runs.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.machine.wavefront import SlotCounters, matmul_read_sites
+from repro.mapping.transform import MappingMatrix
+
+try:  # pragma: no cover - runner gates on HAVE_NUMPY
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "KERNEL_PAYLOAD_VERSION",
+    "CompiledMatmulProgram",
+    "compile_matmul_program",
+    "matmul_program_from_payload",
+]
+
+#: Bump when the payload shape or generated-kernel contract changes.
+KERNEL_PAYLOAD_VERSION = 1
+
+#: Per-slot index-plan arrays, in serialization order.  ``*s`` names are
+#: selections into the slot block, ``*q`` gather sources, ``*t`` scatter
+#: targets -- all flat indices into the raveled value arrays.
+_SLOT_ARRAYS = (
+    "o",            # own flat index of every point in the slot
+    "cs", "cq",     # in-row carry gather (i2 > 1)
+    "ns", "nq",     # pending re-route gather (i2 = p)
+    "g0s", "g0q",   # expansion read site 0 (S)
+    "g1s", "g1q",   # expansion read site 1 (S)
+    "g2s", "g2q",   # expansion read site 2 (C2)
+    "ks", "kq",     # C keep scatter (i2 + 1 <= p)
+    "q1s",          # C re-route candidates out of range (drop census)
+    "r1s", "r1t",   # C re-route in range: selection + NR targets
+    "k2s", "k2q",   # C2 keep scatter (i2 + 2 <= p)
+    "q2s",          # C2 re-route candidates out of range
+    "rAs", "rAt",   # C2 re-route class A (from i2 = p-1)
+    "rBs", "rBt",   # C2 re-route class B (from i2 = p)
+)
+
+
+def _i32(a):
+    return _np.ascontiguousarray(a, dtype=_np.int32)
+
+
+class CompiledMatmulProgram:
+    """One design's compiled bit-level matmul kernel.
+
+    Holds the per-slot index plans, the precomputed structural counters
+    and utilization statistics, and the ``exec``-compiled kernel
+    function.  ``execute`` runs it against a fresh
+    :class:`~repro.machine.wavefront.DenseValueStore`, reproducing the
+    wavefront slot kernel bit for bit.
+    """
+
+    family = "matmul"
+
+    def __init__(self, u, p, expansion_key, slots, slot_times, rr_ok,
+                 reads, causality_checks, writes_struct, links):
+        self.u = int(u)
+        self.p = int(p)
+        self.expansion_key = expansion_key
+        self.lowers = (1, 1, 1, 1, 1)
+        self.uppers = (u, u, u, p, p)
+        self.slots = slots
+        self.slot_times = [int(t) for t in slot_times]
+        #: compile-time causality verdict per re-route class (C, C2-A, C2-B)
+        self.rr_ok = tuple(bool(x) for x in rr_ok)
+        self.reads = int(reads)
+        self.causality_checks = int(causality_checks)
+        self.writes_struct = int(writes_struct)
+        self.links = dict(links)
+        # Utilization statistics of the design (set by the factories):
+        # busy-per-step, per-PE busy beats, schedule extent, point count.
+        self.busy: dict[int, int] = {}
+        self.pe_busy: dict[tuple[int, ...], int] = {}
+        self.first = 0
+        self.last = -1
+        self.n_points = 0
+        self._mapname = ["?"]
+        self.source = _emit_matmul_source(self)
+        env = {
+            "_n": _np,
+            "_add": _np.add.at,
+            "_ovf": _make_overflow(u, p),
+            "_bad": _make_badrr(self._mapname),
+        }
+        for k, rec in enumerate(self.slots):
+            for name in _SLOT_ARRAYS:
+                env[f"{name}{k}"] = rec[name]
+        exec(compile(self.source, "<repro.compile.matmul>", "exec"), env)
+        self._fn = env["_kernel"]
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, kernel, store) -> SlotCounters:
+        np = _np
+        u, p = self.u, self.p
+        shape = (u, u, u, p, p)
+        int8 = np.int8
+        # X and Y are pure pipelines: once every point has fired, their
+        # dense contents are exactly the operand bit planes broadcast over
+        # the non-carrying axes -- attach views, write nothing.
+        Xv = np.broadcast_to(kernel._xbits[:, None, :, None, :], shape)
+        Yv = np.broadcast_to(
+            kernel._ybits.transpose(1, 0, 2)[None, :, :, :, None], shape
+        )
+        base = Xv & Yv  # xb & yb at every point, hoisted out of the slots
+        S = np.zeros(shape, int8)
+        C = np.zeros(shape, int8)
+        C2 = np.zeros(shape, int8)
+        NR = np.zeros(shape, int8)
+
+        always = np.broadcast_to(np.bool_(True), shape)
+        i2_axis = np.arange(1, p + 1)
+        store.attach("x", Xv, always)
+        store.attach("y", Yv, always)
+        store.attach("s", S, always)
+        store.attach("c", C, np.broadcast_to(i2_axis <= p - 1, shape))
+        store.attach("c2", C2, np.broadcast_to(i2_axis <= p - 2, shape))
+
+        self._mapname[0] = store._mapping.name
+        ms, w, dd = self._fn(
+            base.reshape(-1), S.reshape(-1), C.reshape(-1),
+            C2.reshape(-1), NR.reshape(-1),
+        )
+        if NR.any():  # every pending slot must have been consumed
+            raise AssertionError("unconsumed re-routed carries at end of run")
+        state = kernel.state
+        state["dropped"] = state.get("dropped", 0) + dd
+        state["max_summands"] = max(int(state.get("max_summands", 0)), ms)
+        return SlotCounters(
+            reads=self.reads,
+            writes=self.writes_struct + w,
+            causality_checks=self.causality_checks,
+            links=dict(self.links),
+        )
+
+    # -- serialization -------------------------------------------------------
+    def to_payload(self) -> dict:
+        streams = {}
+        lens = {}
+        for name in _SLOT_ARRAYS:
+            parts = [rec[name] for rec in self.slots]
+            lens[name] = [int(len(x)) for x in parts]
+            cat = (
+                _np.concatenate(parts)
+                if parts else _np.zeros(0, dtype=_np.int32)
+            )
+            blob = cat.astype("<i4").tobytes()
+            streams[name] = base64.b64encode(blob).decode("ascii")
+        return {
+            "version": KERNEL_PAYLOAD_VERSION,
+            "family": self.family,
+            "u": self.u,
+            "p": self.p,
+            "expansion": self.expansion_key,
+            "slot_times": self.slot_times,
+            "rr_ok": list(self.rr_ok),
+            "streams": streams,
+            "lens": lens,
+            "reads": self.reads,
+            "causality_checks": self.causality_checks,
+            "writes_struct": self.writes_struct,
+            "links": dict(self.links),
+            "busy": [[int(t), int(n)] for t, n in sorted(self.busy.items())],
+            "pe_busy": [
+                [list(pos), int(n)]
+                for pos, n in sorted(self.pe_busy.items())
+            ],
+            "first": int(self.first),
+            "last": int(self.last),
+            "n_points": int(self.n_points),
+        }
+
+
+def _make_overflow(u, p):
+    """The compressor-overflow reporter: decode the flat own index back to
+    the 1-based lattice point the wavefront backend names."""
+
+    def _ovf(o, v):
+        k = int(_np.argmax(v > 7))
+        f = int(o[k])
+        e = f % p
+        f //= p
+        d = f % p
+        f //= p
+        c = f % u
+        f //= u
+        b = f % u
+        a = f // u
+        pt = (a + 1, b + 1, c + 1, d + 1, e + 1)
+        raise AssertionError(f"compressor overflow at {pt}: {int(v[k])}")
+
+    return _ovf
+
+
+def _make_badrr(mapname_ref):
+    """Raise the wavefront backend's re-route causality error (fires only
+    when a re-routed carry is realized in a compile-time-bad class)."""
+
+    def _bad(t):
+        raise AssertionError(
+            f"causality violation: boundary carry re-routed from "
+            f"slot t={t} into a slot <= t under {mapname_ref[0]}"
+        )
+
+    return _bad
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def compile_matmul_program(
+    mapping: MappingMatrix, u: int, p: int, expansion_key: str
+) -> CompiledMatmulProgram:
+    """Compile the (``T``, expansion, ``u``, ``p``) tuple to a program."""
+    from repro.compile.plan import plan_for
+
+    exp1 = expansion_key == "I"
+    plan = plan_for(mapping, (1,) * 5, (u, u, u, p, p))
+    lattice = plan.lattice
+
+    # The structural read census (reads, causality checks, link traffic)
+    # is a constant of the design; folding it here also performs the
+    # per-site Π·d̄ >= 1 causality check the wavefront kernel runs.
+    counters = SlotCounters()
+    for displacement, mask in matmul_read_sites(u, p, exp1, lattice):
+        counters.account_site(mapping, displacement, int(mask.sum()))
+
+    pi = [int(x) for x in mapping.schedule]
+    # Constant schedule displacement of each boundary re-route class.
+    rr_ok = (pi[3] >= 1, pi[3] + pi[4] >= 1, 2 * pi[3] >= 1)
+
+    writes_struct = 3 * plan.n_points
+    flat = _np.flatnonzero
+    slots = []
+    for (start, end), t in zip(plan.slices, plan.slot_times):
+        block = lattice[plan.order[start:end]]
+        a = block[:, 0] - 1
+        b = block[:, 1] - 1
+        c = block[:, 2] - 1
+        d = block[:, 3] - 1
+        e = block[:, 4] - 1
+        o = ((((a * u + b) * u + c) * p + d) * p + e)
+        rec = {"t": int(t), "o": _i32(o)}
+
+        sel = flat(e > 0)  # in-row carry from i2 - 1
+        rec["cs"], rec["cq"] = _i32(sel), _i32(o[sel] - 1)
+        sel = flat(e == p - 1)  # pending boundary re-routes land on i2 = p
+        rec["ns"], rec["nq"] = _i32(sel), _i32(o[sel])
+
+        if exp1:
+            gathers = (
+                (c > 0, o - p * p),                           # j3 - 1
+                ((c == u - 1) & (d > 0) & (e < p - 1), o - p + 1),
+                ((c == u - 1) & (e > 1), o - 2),              # C2, i2 - 2
+            )
+        else:
+            gathers = (
+                ((d > 0) & (e < p - 1), o - p + 1),           # δ̄₃ collapse
+                (((d == p - 1) | (e == 0)) & (c > 0), o - p * p),
+                ((d == p - 1) & (e > 1), o - 2),              # C2, i2 - 2
+            )
+        for name, (m, q) in zip(("g0", "g1", "g2"), gathers):
+            sel = flat(m)
+            rec[name + "s"], rec[name + "q"] = _i32(sel), _i32(q[sel])
+
+        sel = flat(e <= p - 2)  # C keep: i2 + 1 <= p
+        rec["ks"], rec["kq"] = _i32(sel), _i32(o[sel])
+        writes_struct += len(sel)
+        # C re-route (from i2 = p): in range iff i1 <= p - 1.
+        sel = flat((e == p - 1) & (d <= p - 2))
+        rec["r1s"], rec["r1t"] = _i32(sel), _i32(o[sel] + p)
+        rec["q1s"] = _i32(flat((e == p - 1) & (d > p - 2)))
+
+        sel = flat(e <= p - 3)  # C2 keep: i2 + 2 <= p
+        rec["k2s"], rec["k2q"] = _i32(sel), _i32(o[sel])
+        writes_struct += len(sel)
+        # C2 re-route class A (from i2 = p-1): in range iff i1 <= p - 1.
+        sel = flat((e == p - 2) & (d <= p - 2))
+        rec["rAs"], rec["rAt"] = _i32(sel), _i32(o[sel] + p + 1)
+        # C2 re-route class B (from i2 = p): in range iff i1 <= p - 2.
+        sel = flat((e == p - 1) & (d <= p - 3))
+        rec["rBs"], rec["rBt"] = _i32(sel), _i32(o[sel] + 2 * p)
+        rec["q2s"] = _i32(flat(
+            ((e == p - 2) & (d == p - 1)) | ((e == p - 1) & (d >= p - 2))
+        ))
+        slots.append(rec)
+
+    program = CompiledMatmulProgram(
+        u, p, expansion_key, slots, plan.slot_times, rr_ok,
+        counters.reads, counters.causality_checks, writes_struct,
+        counters.links,
+    )
+    program.busy = plan.busy_per_step()
+    program.pe_busy = plan.pe_busy()
+    program.first = plan.first
+    program.last = plan.last
+    program.n_points = plan.n_points
+    return program
+
+
+def matmul_program_from_payload(payload: dict) -> CompiledMatmulProgram:
+    """Rebuild a program from its artifact-store payload.
+
+    Raises on any malformed/mismatched payload (the runner treats that
+    as a cache miss and recompiles).
+    """
+    if payload.get("version") != KERNEL_PAYLOAD_VERSION:
+        raise ValueError("kernel payload version mismatch")
+    if payload.get("family") != "matmul":
+        raise ValueError("kernel payload family mismatch")
+    u, p = int(payload["u"]), int(payload["p"])
+    lens = payload["lens"]
+    n_slots = len(payload["slot_times"])
+    per_name = {}
+    for name in _SLOT_ARRAYS:
+        blob = base64.b64decode(payload["streams"][name])
+        cat = _np.frombuffer(blob, dtype="<i4").astype(_np.int32)
+        counts = [int(x) for x in lens[name]]
+        if len(counts) != n_slots or sum(counts) != len(cat):
+            raise ValueError("kernel payload stream length mismatch")
+        parts, pos = [], 0
+        for n in counts:
+            parts.append(cat[pos:pos + n])
+            pos += n
+        per_name[name] = parts
+    slots = []
+    for k, t in enumerate(payload["slot_times"]):
+        rec = {"t": int(t)}
+        for name in _SLOT_ARRAYS:
+            rec[name] = per_name[name][k]
+        slots.append(rec)
+    links = {str(k): int(v) for k, v in payload["links"].items()}
+    program = CompiledMatmulProgram(
+        u, p, payload["expansion"], slots, payload["slot_times"],
+        payload["rr_ok"], payload["reads"], payload["causality_checks"],
+        payload["writes_struct"], links,
+    )
+    program.busy = {int(t): int(n) for t, n in payload["busy"]}
+    program.pe_busy = {
+        tuple(int(x) for x in pos): int(n) for pos, n in payload["pe_busy"]
+    }
+    program.first = int(payload["first"])
+    program.last = int(payload["last"])
+    program.n_points = int(payload["n_points"])
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Source emission
+# ---------------------------------------------------------------------------
+
+def _gather(dst_len, sel_name, sel, src, q_name):
+    """``v += <src>[q]`` statement, sliced only when the selection is a
+    strict subset of the slot block."""
+    if len(sel) == dst_len:
+        return f"    v += {src}[{q_name}]"
+    return f"    v[{sel_name}] += {src}[{q_name}]"
+
+
+def _emit_matmul_source(program: CompiledMatmulProgram) -> str:
+    """Emit the loop-free kernel: one straight-line block per time slot.
+
+    The function closes over nothing; every index plan is a global of the
+    ``exec`` environment (``o3``, ``cs3``, ... for slot 3).  Arguments are
+    the raveled value arrays; returns ``(max_summands, reroute_writes,
+    dropped)`` -- the only data-dependent observables.
+    """
+    rr1_ok, rrA_ok, rrB_ok = program.rr_ok
+    L = [
+        "def _kernel(B, S, C, D, N):",
+        "    ms = 0",
+        "    w = 0",
+        "    dd = 0",
+    ]
+    for k, rec in enumerate(program.slots):
+        n = len(rec["o"])
+        L.append(f"    # slot t={rec['t']} ({n} points)")
+        L.append(f"    v = B[o{k}]")
+        if len(rec["cs"]):
+            L.append(_gather(n, f"cs{k}", rec["cs"], "C", f"cq{k}"))
+        if len(rec["ns"]):
+            L.append(_gather(n, f"ns{k}", rec["ns"], "N", f"nq{k}"))
+            L.append(f"    N[nq{k}] = 0")
+        for g, src in (("g0", "S"), ("g1", "S"), ("g2", "D")):
+            if len(rec[g + "s"]):
+                L.append(_gather(n, f"{g}s{k}", rec[g + "s"], src, f"{g}q{k}"))
+        L.append("    m = int(v.max())")
+        L.append(f"    if m > 7: _ovf(o{k}, v)")
+        L.append("    if m > ms: ms = m")
+        L.append(f"    S[o{k}] = v & 1")
+
+        if len(rec["ks"]) or len(rec["q1s"]) or len(rec["r1s"]):
+            L.append("    b = (v >> 1) & 1")
+            if len(rec["ks"]):
+                src = "b" if len(rec["ks"]) == n else f"b[ks{k}]"
+                L.append(f"    C[kq{k}] = {src}")
+            if len(rec["q1s"]):
+                L.append(f"    dd += int(b[q1s{k}].sum())")
+            if len(rec["r1s"]):
+                if rr1_ok:
+                    L.append(f"    r = b[r1s{k}]")
+                    L.append("    w += int(r.sum())")
+                    L.append(f"    _add(N, r1t{k}, r)")
+                else:
+                    L.append(f"    if b[r1s{k}].any(): _bad({rec['t']})")
+
+        has_rr2 = len(rec["rAs"]) or len(rec["rBs"])
+        if len(rec["k2s"]) or len(rec["q2s"]) or has_rr2:
+            L.append("    b = (v >> 2) & 1")
+            if len(rec["k2s"]):
+                src = "b" if len(rec["k2s"]) == n else f"b[k2s{k}]"
+                L.append(f"    D[k2q{k}] = {src}")
+            if len(rec["q2s"]):
+                L.append(f"    dd += int(b[q2s{k}].sum())")
+            for cls, ok in (("A", rrA_ok), ("B", rrB_ok)):
+                if not len(rec[f"r{cls}s"]):
+                    continue
+                if ok:
+                    L.append(f"    r = b[r{cls}s{k}]")
+                    L.append("    w += int(r.sum())")
+                    L.append(f"    _add(N, r{cls}t{k}, r)")
+                else:
+                    L.append(f"    if b[r{cls}s{k}].any(): _bad({rec['t']})")
+    L.append("    return ms, w, dd")
+    return "\n".join(L) + "\n"

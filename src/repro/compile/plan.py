@@ -1,0 +1,224 @@
+"""Per-design schedule plans: the run-invariant structure, computed once.
+
+Everything the wavefront runner re-derived on every ``simulate`` call --
+the box lattice, the batched ``Π j̄`` / ``S j̄`` transforms, the conflict
+check, the time-sorted slot grouping, busy-per-step and per-PE busy
+counts -- is a constant of ``(T, lowers, uppers)``.  :func:`plan_for`
+builds that structure exactly once per design and memoizes it in-process
+(an LRU keyed like the mapping engine's ``EvalCache``: by content, not
+identity), so repeat simulations of the same design -- the serve tier's
+bread and butter -- skip straight to value execution.
+
+Two plan shapes exist:
+
+* :class:`SchedulePlan` (NumPy): dense arrays + slot slices, consumed by
+  the wavefront slot kernels and by the :mod:`repro.compile` design
+  compiler as the substrate for per-slot index plans;
+* :class:`GenericPlan` (pure Python): the point list, batched times /
+  processors, and time-bucketed slots used by the generic per-point
+  shim, memoized only for plain box index sets (whose point enumeration
+  is fully determined by the bounds).
+
+Plans are read-only by convention: consumers receive *copies* of the
+mutable per-run statistics (``busy_per_step``, ``pe_busy``) and must not
+write into the shared arrays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.mapping.transform import MappingMatrix
+from repro.structures.indexset import IndexSet
+
+try:  # pragma: no cover - both paths exercised by the test suite
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "SchedulePlan",
+    "GenericPlan",
+    "plan_for",
+    "generic_plan_for",
+    "clear_plan_memo",
+]
+
+#: In-process memo capacity (plans are O(points) memory; a handful of
+#: designs is the realistic working set of a serve process).
+_MEMO_CAPACITY = 32
+
+_PLAN_MEMO: "OrderedDict[tuple, SchedulePlan]" = OrderedDict()
+_GENERIC_MEMO: "OrderedDict[tuple, GenericPlan]" = OrderedDict()
+
+
+def clear_plan_memo() -> None:
+    """Drop every memoized plan (tests and benchmarks use this to force
+    cold builds)."""
+    _PLAN_MEMO.clear()
+    _GENERIC_MEMO.clear()
+
+
+def _memo_put(memo: OrderedDict, key, value) -> None:
+    memo[key] = value
+    memo.move_to_end(key)
+    while len(memo) > _MEMO_CAPACITY:
+        memo.popitem(last=False)
+
+
+class SchedulePlan:
+    """The dense run-invariant schedule structure of one design + box."""
+
+    __slots__ = (
+        "lattice", "times", "procs", "order", "slices", "sorted_times",
+        "slot_times", "first", "last", "n_points", "_busy", "_pe_busy",
+    )
+
+    def __init__(self, lattice, times, procs, order, slices, sorted_times,
+                 first, last, busy, pe_busy):
+        self.lattice = lattice
+        self.times = times
+        self.procs = procs
+        self.order = order
+        self.slices = slices
+        self.sorted_times = sorted_times
+        self.slot_times = [int(sorted_times[s]) for s, _ in slices]
+        self.first = first
+        self.last = last
+        self.n_points = len(lattice)
+        self._busy = busy
+        self._pe_busy = pe_busy
+
+    def busy_per_step(self) -> dict[int, int]:
+        """Per-time-step busy-PE counts (a fresh dict per caller)."""
+        return dict(self._busy)
+
+    def pe_busy(self) -> dict[tuple[int, ...], int]:
+        """Per-PE busy-beat counts (a fresh dict per caller)."""
+        return dict(self._pe_busy)
+
+
+def _build_plan(
+    mapping: MappingMatrix,
+    lowers: Sequence[int],
+    uppers: Sequence[int],
+) -> SchedulePlan:
+    # Imported here (not at module top) purely for the helper functions;
+    # wavefront imports this module lazily inside its runner, so the two
+    # modules never form an import cycle at load time.
+    from repro.machine.wavefront import (
+        _box_lattice,
+        _check_conflicts,
+        _encode_columns,
+        _group_counts,
+        _slot_slices,
+    )
+
+    lattice = _box_lattice(lowers, uppers)
+    times = mapping.times_of(lattice)
+    procs = mapping.processors_of(lattice)
+    if len(lattice):
+        _check_conflicts(lattice, times, procs)
+        first = int(times.min())
+        last = int(times.max())
+        order = _np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        slices = _slot_slices(sorted_times)
+        step_values, step_counts = _np.unique(times, return_counts=True)
+        busy = {
+            int(t): int(n)
+            for t, n in zip(step_values.tolist(), step_counts.tolist())
+        }
+        pe_busy = _group_counts(
+            _encode_columns([procs[:, k] for k in range(procs.shape[1])]),
+            procs,
+        )
+    else:
+        first, last = 0, -1
+        order = _np.zeros(0, dtype=_np.int64)
+        sorted_times = times
+        slices = []
+        busy = {}
+        pe_busy = {}
+    return SchedulePlan(
+        lattice, times, procs, order, slices, sorted_times,
+        first, last, busy, pe_busy,
+    )
+
+
+def plan_for(
+    mapping: MappingMatrix,
+    lowers: Sequence[int],
+    uppers: Sequence[int],
+) -> SchedulePlan:
+    """The (memoized) :class:`SchedulePlan` of ``mapping`` over the box.
+
+    Keyed by the mapping's *rows* (content, like ``EvalCache``), so two
+    equal designs share one plan regardless of object identity or name.
+    Conflicting designs raise the usual ``ValueError`` and are never
+    cached, so the error re-raises on every attempt.
+    """
+    key = (mapping.rows, tuple(lowers), tuple(uppers))
+    plan = _PLAN_MEMO.get(key)
+    if plan is not None:
+        _PLAN_MEMO.move_to_end(key)
+        return plan
+    plan = _build_plan(mapping, lowers, uppers)
+    _memo_put(_PLAN_MEMO, key, plan)
+    return plan
+
+
+class GenericPlan:
+    """The pure-Python plan consumed by the generic per-point shim."""
+
+    __slots__ = ("points", "times", "procs", "slots")
+
+    def __init__(self, points, times, procs, slots):
+        self.points = points  # list[tuple[int, ...]]
+        self.times = times  # list[int], aligned with points
+        self.procs = procs  # list[tuple[int, ...]], aligned with points
+        #: ``[(t, [points...]), ...]`` in ascending schedule time
+        self.slots = slots
+
+
+def _build_generic_plan(mapping: MappingMatrix, points) -> GenericPlan:
+    points = list(points)
+    times = mapping.times_of(points)
+    tlist = times.tolist() if hasattr(times, "tolist") else list(times)
+    procs = mapping.processors_of(points)
+    if hasattr(procs, "tolist"):
+        procs = [tuple(row) for row in procs.tolist()]
+    else:
+        procs = [tuple(row) for row in procs]
+    buckets: dict[int, list[tuple[int, ...]]] = {}
+    for point, t in zip(points, tlist):
+        buckets.setdefault(t, []).append(point)
+    slots = [(t, buckets[t]) for t in sorted(buckets)]
+    return GenericPlan(points, tlist, procs, slots)
+
+
+def generic_plan_for(mapping: MappingMatrix, index_set, binding) -> GenericPlan:
+    """The (memoized) :class:`GenericPlan` for an algorithm instance.
+
+    Only plain rectangular :class:`~repro.structures.indexset.IndexSet`
+    instances are memoized -- their point enumeration is a pure function
+    of the concrete bounds, which become the memo key.  Any other index
+    set (or unbound parameters) builds a fresh plan every call.
+    """
+    key = None
+    if type(index_set) is IndexSet:
+        try:
+            bounds = tuple(tuple(b) for b in index_set.bounds(binding))
+        except KeyError:
+            bounds = None
+        if bounds is not None:
+            key = (mapping.rows, bounds)
+            plan = _GENERIC_MEMO.get(key)
+            if plan is not None:
+                _GENERIC_MEMO.move_to_end(key)
+                return plan
+    plan = _build_generic_plan(mapping, index_set.points(binding))
+    if key is not None:
+        _memo_put(_GENERIC_MEMO, key, plan)
+    return plan

@@ -24,9 +24,15 @@ Two execution backends share this machine model (see ``docs/SIMULATION.md``):
   once against dense array-indexed storage, and the machine-model checks
   run as per-slot assertions.  Generic ``compute`` callables are supported
   through a compatibility shim; the shipped arithmetic machines provide
-  fully vectorized slot kernels.
+  fully vectorized slot kernels;
+* ``"compiled"`` -- the design compiler of :mod:`repro.compile`: the
+  run-invariant structure (schedule tables, slot grouping, gather/scatter
+  index plans) is compiled once per design into generated, loop-free NumPy
+  source (memoized in-process and persisted in the artifact cache under a
+  ``kernel`` key), so repeat simulations of a known design skip straight
+  to value execution.  See ``docs/COMPILE.md``.
 
-Both backends produce identical :class:`SimulationResult` values, store
+All backends produce identical :class:`SimulationResult` values, store
 contents, and observability metrics; the default is selected by
 :func:`default_backend` (the ``REPRO_SIM_BACKEND`` environment variable,
 ``"pointwise"`` otherwise).
@@ -61,15 +67,15 @@ __all__ = [
 ]
 
 #: The recognized execution backends.
-BACKENDS = ("pointwise", "wavefront")
+BACKENDS = ("pointwise", "wavefront", "compiled")
 
 
 def default_backend() -> str:
     """The process-wide default backend.
 
-    Honors ``REPRO_SIM_BACKEND`` (``pointwise`` | ``wavefront``) so fuzz
-    and CI jobs can flip every simulator in one place; falls back to
-    ``"pointwise"``.
+    Honors ``REPRO_SIM_BACKEND`` (``pointwise`` | ``wavefront`` |
+    ``compiled``) so fuzz and CI jobs can flip every simulator in one
+    place; falls back to ``"pointwise"``.
     """
     backend = os.environ.get("REPRO_SIM_BACKEND", "pointwise")
     if backend not in BACKENDS:
@@ -262,7 +268,8 @@ class SpaceTimeSimulator:
     """Execute an algorithm instance under a mapping.
 
     ``backend`` selects the execution engine (``"pointwise"`` |
-    ``"wavefront"``); ``None`` defers to :func:`default_backend`.
+    ``"wavefront"`` | ``"compiled"``); ``None`` defers to
+    :func:`default_backend`.
     """
 
     def __init__(
@@ -317,6 +324,10 @@ class SpaceTimeSimulator:
             from repro.machine.wavefront import run_wavefront
 
             return run_wavefront(self, compute, kernel)
+        if self.backend == "compiled":
+            from repro.compile.runner import run_compiled
+
+            return run_compiled(self, compute, kernel)
         return self._run_pointwise(compute)
 
     def _run_pointwise(

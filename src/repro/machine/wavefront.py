@@ -63,6 +63,7 @@ __all__ = [
     "SlotCounters",
     "MatmulSlotKernel",
     "WordMatmulSlotKernel",
+    "matmul_read_sites",
     "run_wavefront",
 ]
 
@@ -374,13 +375,17 @@ def run_wavefront(sim, compute: Callable, kernel=None) -> SimulationResult:
 def _run_kernel(sim, kernel) -> SimulationResult:
     reg = obs.get_registry()
     mapping = sim.mapping
+    # Lazy: plan.py imports this module's helpers inside its builder, so
+    # neither module needs the other at import time.
+    from repro.compile.plan import plan_for
+
     with obs.span(
         "machine.simulate", mapping=mapping.name, backend="wavefront"
     ):
-        lattice = _box_lattice(kernel.lowers, kernel.uppers)
-        n_points = len(lattice)
-        times = mapping.times_of(lattice)
-        procs = mapping.processors_of(lattice)
+        plan = plan_for(mapping, kernel.lowers, kernel.uppers)
+        lattice = plan.lattice
+        n_points = plan.n_points
+        times = plan.times
 
         store = DenseValueStore(mapping, kernel.lowers, kernel.uppers)
         store._registry = reg
@@ -390,26 +395,18 @@ def _run_kernel(sim, kernel) -> SimulationResult:
         pe_busy: dict[tuple[int, ...], int] = {}
         first, last = 0, -1
         if n_points:
-            _check_conflicts(lattice, times, procs)
-            first = int(times.min())
-            last = int(times.max())
-            counters = kernel.execute(lattice, times, store)
+            first = plan.first
+            last = plan.last
+            counters = kernel.execute(lattice, times, store, plan=plan)
             store.reads += counters.reads
             store.writes += counters.writes
             store.causality_checks += counters.causality_checks
             if reg is not None:
                 for label in sorted(counters.links):
                     reg.count(label, counters.links[label])
-            step_values, step_counts = _np.unique(times, return_counts=True)
-            busy_per_step = {
-                int(t): int(n)
-                for t, n in zip(step_values.tolist(), step_counts.tolist())
-            }
-            pe_busy = _group_counts(
-                _encode_columns([procs[:, k] for k in range(procs.shape[1])]),
-                procs,
-            )
-            sim._pes_builder = _pes_materializer(lattice, times, procs)
+            busy_per_step = plan.busy_per_step()
+            pe_busy = plan.pe_busy()
+            sim._pes_builder = _pes_materializer(lattice, times, plan.procs)
         result = SimulationResult(
             makespan=last - first + 1,
             first_time=first,
@@ -425,32 +422,38 @@ def _run_kernel(sim, kernel) -> SimulationResult:
     return result
 
 
-def _run_generic(sim, compute: Callable) -> SimulationResult:
+def _run_generic(
+    sim, compute: Callable, label: str = "wavefront"
+) -> SimulationResult:
     """The compatibility shim: batched transforms + slot-ordered per-point
-    interpretation against the dict-backed :class:`ValueStore`."""
+    interpretation against the dict-backed :class:`ValueStore`.
+
+    The batched times/processors and the slot bucketing are constants of
+    (mapping, index-set bounds); they come from the memoized
+    :func:`repro.compile.plan.generic_plan_for` so repeat runs of the same
+    design skip straight to firing.  ``label`` names the backend in the
+    obs span (the compiled backend reuses this shim when NumPy is absent).
+    """
     reg = obs.get_registry()
     store: ValueStore = sim.store
     store._registry = reg
-    with obs.span(
-        "machine.simulate", mapping=sim.mapping.name, backend="wavefront"
-    ):
-        points = list(sim.algorithm.index_set.points(sim.binding))
-        times = sim.mapping.times_of(points)
-        tlist = times.tolist() if hasattr(times, "tolist") else list(times)
-        store._time_cache.update(zip(points, tlist))
-        procs = sim.mapping.processors_of(points)
-        if hasattr(procs, "tolist"):
-            procs = [tuple(row) for row in procs.tolist()]
-        store._proc_cache.update(zip(points, procs))
+    from repro.compile.plan import generic_plan_for
 
-        # Bucket by schedule time once; fire whole slots in time order.
-        slots: dict[int, list[tuple[int, ...]]] = {}
-        for point, t in zip(points, tlist):
-            slots.setdefault(t, []).append(point)
+    with obs.span(
+        "machine.simulate", mapping=sim.mapping.name, backend=label
+    ):
+        plan = generic_plan_for(
+            sim.mapping, sim.algorithm.index_set, sim.binding
+        )
+        points = plan.points
+        tlist = plan.times
+        store._time_cache.update(zip(points, tlist))
+        store._proc_cache.update(zip(points, plan.procs))
+
         pes = sim.pes
         busy: dict[int, int] = {}
-        for t in sorted(slots):
-            for point in slots[t]:
+        for t, slot_points in plan.slots:
+            for point in slot_points:
                 pos = store.processor_of(point)
                 pe = pes.get(pos)
                 if pe is None:
@@ -478,6 +481,39 @@ def _run_generic(sim, compute: Callable) -> SimulationResult:
 # ---------------------------------------------------------------------------
 # The bit-level matmul slot kernel (add-shift compressor lattice)
 # ---------------------------------------------------------------------------
+
+def matmul_read_sites(u: int, p: int, exp1: bool, lattice):
+    """The uniform read sites of the bit-level matmul lattice.
+
+    Returns ``[(displacement, mask), ...]`` where ``mask`` selects the
+    lattice points whose compute performs a ``store.get`` along that fixed
+    displacement (every such read hits a produced value).  Shared by the
+    wavefront slot kernel's counter accounting and by the design compiler,
+    which bakes the same site census into its generated kernels.
+    """
+    j1, j2, j3 = lattice[:, 0], lattice[:, 1], lattice[:, 2]
+    i1, i2 = lattice[:, 3], lattice[:, 4]
+    sites = [
+        ((0, 1, 0, 0, 0), (i1 == 1) & (j2 > 1)),  # x entry row, d̄ along j2
+        ((0, 0, 0, 1, 0), i1 > 1),  # x pipelining d̄₄
+        ((1, 0, 0, 0, 0), (i2 == 1) & (j1 > 1)),  # y entry column
+        ((0, 0, 0, 0, 1), i2 > 1),  # y pipelining d̄₅
+        ((0, 0, 0, 0, 1), i2 > 1),  # in-row carry
+    ]
+    if exp1:
+        sites += [
+            ((0, 0, 1, 0, 0), j3 > 1),  # position-wise z forwarding
+            ((0, 0, 0, 1, -1), (j3 == u) & (i1 > 1) & (i2 < p)),
+            ((0, 0, 0, 0, 2), (j3 == u) & (i2 > 2)),
+        ]
+    else:
+        sites += [
+            ((0, 0, 0, 1, -1), (i1 > 1) & (i2 < p)),  # δ̄₃ collapse
+            ((0, 0, 1, 0, 0), ((i1 == p) | (i2 == 1)) & (j3 > 1)),
+            ((0, 0, 0, 0, 2), (i1 == p) & (i2 > 2)),
+        ]
+    return sites
+
 
 class MatmulSlotKernel:
     """Vectorized slot kernel for the bit-level matmul lattice.
@@ -524,33 +560,15 @@ class MatmulSlotKernel:
     def _account(self, counters: SlotCounters, mapping, lattice) -> None:
         """Fold every read site into the counters (each site is a fixed
         displacement; all matmul-lattice reads hit a produced value)."""
-        u, p = self.u, self.p
-        j1, j2, j3 = lattice[:, 0], lattice[:, 1], lattice[:, 2]
-        i1, i2 = lattice[:, 3], lattice[:, 4]
-        sites = [
-            ((0, 1, 0, 0, 0), (i1 == 1) & (j2 > 1)),  # x entry row, d̄ along j2
-            ((0, 0, 0, 1, 0), i1 > 1),  # x pipelining d̄₄
-            ((1, 0, 0, 0, 0), (i2 == 1) & (j1 > 1)),  # y entry column
-            ((0, 0, 0, 0, 1), i2 > 1),  # y pipelining d̄₅
-            ((0, 0, 0, 0, 1), i2 > 1),  # in-row carry
-        ]
-        if self.exp1:
-            sites += [
-                ((0, 0, 1, 0, 0), j3 > 1),  # position-wise z forwarding
-                ((0, 0, 0, 1, -1), (j3 == u) & (i1 > 1) & (i2 < p)),
-                ((0, 0, 0, 0, 2), (j3 == u) & (i2 > 2)),
-            ]
-        else:
-            sites += [
-                ((0, 0, 0, 1, -1), (i1 > 1) & (i2 < p)),  # δ̄₃ collapse
-                ((0, 0, 1, 0, 0), ((i1 == p) | (i2 == 1)) & (j3 > 1)),
-                ((0, 0, 0, 0, 2), (i1 == p) & (i2 > 2)),
-            ]
-        for displacement, mask in sites:
+        for displacement, mask in matmul_read_sites(
+            self.u, self.p, self.exp1, lattice
+        ):
             counters.account_site(mapping, displacement, int(mask.sum()))
 
     # -- execution -----------------------------------------------------------
-    def execute(self, lattice, times, store: DenseValueStore) -> SlotCounters:
+    def execute(
+        self, lattice, times, store: DenseValueStore, plan=None
+    ) -> SlotCounters:
         np = _np
         u, p = self.u, self.p
         exp1 = self.exp1
@@ -579,9 +597,13 @@ class MatmulSlotKernel:
         dropped = 0
         writes = 0
 
-        order = np.argsort(times, kind="stable")
-        sorted_times = times[order]
-        for start, end in _slot_slices(sorted_times):
+        if plan is not None:
+            order, sorted_times, slices = plan.order, plan.sorted_times, plan.slices
+        else:
+            order = np.argsort(times, kind="stable")
+            sorted_times = times[order]
+            slices = _slot_slices(sorted_times)
+        for start, end in slices:
             block = lattice[order[start:end]]
             t = int(sorted_times[start])
             j1, j2, j3 = block[:, 0], block[:, 1], block[:, 2]
@@ -695,7 +717,9 @@ class WordMatmulSlotKernel:
         self._x = _np.asarray(x, dtype=_np.int64)
         self._y = _np.asarray(y, dtype=_np.int64)
 
-    def execute(self, lattice, times, store: DenseValueStore) -> SlotCounters:
+    def execute(
+        self, lattice, times, store: DenseValueStore, plan=None
+    ) -> SlotCounters:
         np = _np
         u = self.u
         shape = (u, u, u)
@@ -717,9 +741,13 @@ class WordMatmulSlotKernel:
         )
         writes = 0
 
-        order = np.argsort(times, kind="stable")
-        sorted_times = times[order]
-        for start, end in _slot_slices(sorted_times):
+        if plan is not None:
+            order, sorted_times, slices = plan.order, plan.sorted_times, plan.slices
+        else:
+            order = np.argsort(times, kind="stable")
+            sorted_times = times[order]
+            slices = _slot_slices(sorted_times)
+        for start, end in slices:
             block = lattice[order[start:end]]
             t = int(sorted_times[start])
             a, b, c = block[:, 0] - 1, block[:, 1] - 1, block[:, 2] - 1

@@ -87,7 +87,7 @@ class WordLevelMatmulMachine:
             self.mapping, self.algorithm, binding, backend=self.backend
         )
         kernel = None
-        if sim.backend == "wavefront":
+        if sim.backend in ("wavefront", "compiled"):
             from repro.machine import wavefront
 
             # Accumulated z words (< u * 2^{2p}) must fit int64 lanes.

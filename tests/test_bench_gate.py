@@ -35,15 +35,15 @@ class TestGateRuns:
         assert report.ok, report.summary()
         assert {c.name for c in report.checks} == {
             "analysis_batched", "analysis_cache_warm",
-            "simulator_wavefront", "search_memo_hits",
-            "symbolic_instantiate",
+            "simulator_wavefront", "compiled_kernel",
+            "search_memo_hits", "symbolic_instantiate",
         }
         (record,) = [
             json.loads(line) for line in history.read_text().splitlines()
         ]
         assert record["ok"] is True
         assert record["timestamp"] > 0
-        assert len(record["checks"]) == 5
+        assert len(record["checks"]) == 6
         assert "environment" in record
 
     def test_injected_slowdown_fails(self, tmp_path):
@@ -57,7 +57,7 @@ class TestGateRuns:
         # is unaffected by a slowdown.
         assert failed >= {
             "analysis_batched", "simulator_wavefront",
-            "symbolic_instantiate",
+            "compiled_kernel", "symbolic_instantiate",
         }
         (record,) = [
             json.loads(line) for line in history.read_text().splitlines()
