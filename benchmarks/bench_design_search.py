@@ -11,9 +11,12 @@ Besides the pytest-benchmark kernels, this module doubles as a script:
   runs a small instance once and asserts the engine's memoization is
   live (``mapping.cache_hits > 0``) -- the CI guard.
 * ``python benchmarks/bench_design_search.py --record`` runs the blocked
-  u=3, p=3 catalog instance at ``workers=1`` and ``workers=4``, verifies
-  the ranked lists are identical, and updates ``BENCH_design_search.json``
-  at the repo root (the pre-engine baseline entry is preserved).
+  u=3, p=3 instance three ways -- catalog strategy at ``workers=1`` and
+  ``workers=4``, then the branch-and-prune solver strategy -- verifies
+  every run returns identical designs, and updates
+  ``BENCH_design_search.json`` at the repo root with the engine timings
+  plus the solver's candidates-enumerated ratio and wall-clock speedup
+  (the pre-engine baseline entry is preserved).
 """
 
 import argparse
@@ -151,10 +154,10 @@ def _record(repeats: int) -> int:
     binding = {"u": u, "p": p}
     prims = designs.fig4_primitives(p)
 
-    def config(workers):
+    def config(workers, strategy="catalog"):
         return SearchConfig(target_space_dim=2, block_values=[p],
                             schedule_bound=2, max_candidates=5,
-                            workers=workers)
+                            workers=workers, strategy=strategy)
 
     print(f"recording u={u} p={p} blocked-catalog instance "
           f"(best of {repeats})...")
@@ -166,6 +169,18 @@ def _record(repeats: int) -> int:
     print(f"workers=1: {t_seq:.3f}s  workers=4: {t_par:.3f}s  "
           f"identical={identical}")
     assert identical, "parallel search diverged from sequential"
+
+    t_sol, cands_sol, m_sol = _timed_search(
+        alg, binding, prims, config(1, strategy="solver"), repeats
+    )
+    solver_identical = _candidate_rows(cands_sol) == _candidate_rows(cands_seq)
+    n_catalog = m_seq["counters"].get("mapping.candidates_enumerated", 0)
+    n_solver = m_sol["counters"].get("mapping.candidates_enumerated", 0)
+    ratio = n_catalog / max(n_solver, 1)
+    print(f"solver: {t_sol:.3f}s  candidates {n_solver} vs catalog "
+          f"{n_catalog} ({ratio:.1f}x fewer)  identical={solver_identical}")
+    assert solver_identical, "solver search diverged from catalog"
+    assert ratio >= 10, f"solver candidate cut {ratio:.1f}x below 10x"
 
     data = {}
     if BENCH_FILE.exists():
@@ -195,6 +210,16 @@ def _record(repeats: int) -> int:
                 "cache_hits": m_par["counters"].get("mapping.cache_hits"),
             },
             "results_identical_across_workers": identical,
+        },
+        "solver": {
+            "seconds": round(t_sol, 3),
+            "cache_hits": m_sol["counters"].get("mapping.cache_hits"),
+            "cache_misses": m_sol["counters"].get("mapping.cache_misses"),
+            "candidates_enumerated": n_solver,
+            "catalog_candidates_enumerated": n_catalog,
+            "candidates_ratio": round(ratio, 2),
+            "speedup_vs_catalog": round(t_seq / t_sol, 2),
+            "results_identical_to_catalog": solver_identical,
         },
         "top_candidates": _candidate_rows(cands_seq),
     })

@@ -109,6 +109,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         overcollect=args.overcollect,
         exhaustive=args.exhaustive,
         primitives=args.primitives,
+        strategy=args.strategy,
+        frontier=(
+            ("time", "processors", "wire_length") if args.pareto else None
+        ),
+        shard_workers=args.shard_workers,
+        shard_dir=args.shard_dir,
     )
     return _finish(_dispatch(args, spec))
 
@@ -196,6 +202,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(
             f"mutation check ok: seeded c' validity bug caught, "
             f"counterexample shrunk in {counterexample.shrink_steps} steps"
+        )
+        print(f"  case: {dict(counterexample.case)}")
+        print(f"  {counterexample.detail}")
+        return 0
+
+    if args.search_mutation:
+        from repro.verify import run_search_mutation_check
+
+        counterexample = run_search_mutation_check(
+            args.search_mutation, seed=args.seed, cases=cases
+        )
+        if counterexample is None:
+            print(
+                f"mutation check FAILED: oracle_search did not catch the "
+                f"seeded {args.search_mutation} bug"
+            )
+            return 1
+        print(
+            f"mutation check ok: seeded {args.search_mutation} bug "
+            f"caught, counterexample shrunk in "
+            f"{counterexample.shrink_steps} steps"
         )
         print(f"  case: {dict(counterexample.case)}")
         print(f"  {counterexample.detail}")
@@ -375,6 +402,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--primitives", choices=["fig4", "fig5", "mesh", "none"],
         default="fig4", help="interconnection-primitive set P",
     )
+    p_search.add_argument(
+        "--strategy", choices=["auto", "catalog", "solver"], default="auto",
+        help="candidate generation: 'solver' prunes with the Definition 4.1 "
+        "constraint system, 'catalog' enumerates everything (auto = solver)",
+    )
+    p_search.add_argument(
+        "--pareto", action="store_true",
+        help="return the Pareto frontier over (time, PEs, wire length) "
+        "instead of the (time, PEs)-ranked list",
+    )
+    p_search.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="shard the search: N processes claim candidate blocks from a "
+        "shared work queue (see --shard-dir)",
+    )
+    p_search.add_argument(
+        "--shard-dir", metavar="DIR", default=None,
+        help="shared shard directory for cooperating --shard-workers runs "
+        "(default: a fresh temporary directory)",
+    )
     _server_option(p_search)
     p_search.set_defaults(fn=_cmd_search)
 
@@ -455,7 +502,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument(
         "--oracle", action="append", default=None,
-        choices=["theorem31", "analysis", "symbolic", "mapping", "simulator"],
+        choices=["theorem31", "analysis", "symbolic", "mapping", "simulator",
+                 "search"],
         help="run only this oracle (repeatable; default: all)",
     )
     p_verify.add_argument(
@@ -476,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["dropped-congruence", "shifted-bound"],
         help="self-test: seed NAME into the symbolic solver and require "
         "the symbolic cross-validation oracle to catch it",
+    )
+    p_verify.add_argument(
+        "--search-mutation", metavar="NAME", default=None,
+        choices=["tight-deadline", "dropped-conflict-gate"],
+        help="self-test: seed NAME into the search solver's cuts and "
+        "require the search differential oracle to catch it",
     )
     _server_option(p_verify)
     _obs_options(p_verify, top_level=False)

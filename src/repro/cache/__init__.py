@@ -20,6 +20,7 @@ from repro.cache.keys import (
     Uncacheable,
     analysis_key,
     fingerprint,
+    shard_run_key,
     structure_key,
     symbolic_key,
     system_key,
@@ -63,6 +64,7 @@ __all__ = [
     "encode_obj",
     "fingerprint",
     "resolve_cache",
+    "shard_run_key",
     "structure_key",
     "symbolic_key",
     "system_key",

@@ -41,6 +41,7 @@ __all__ = [
     "fingerprint",
     "analysis_key",
     "kernel_key",
+    "shard_run_key",
     "structure_key",
     "symbolic_key",
     "system_key",
@@ -204,6 +205,39 @@ def kernel_key(family: str, rows, params: dict, version: int) -> str:
         "rows": [[int(x) for x in row] for row in rows],
         "params": {k: params[k] for k in sorted(params)},
         "version": int(version),
+    }
+    return fingerprint(payload)
+
+
+def shard_run_key(
+    algorithm_name: str,
+    dependence_columns,
+    bounds,
+    primitives,
+    config: dict,
+    blocks: int,
+) -> str:
+    """Content key identifying one sharded design-space search run.
+
+    Workers and the coordinator derive the same key from the same inputs,
+    so claim ledgers and block results published in a shared store never
+    collide across distinct searches -- and a re-run of the identical
+    search finds its blocks already published.  The worker count is
+    deliberately *not* part of the key: any number of workers cooperates
+    on (and reuses) the same run.
+    """
+    payload = {
+        "kind": "search-shard",
+        "algorithm": str(algorithm_name),
+        "columns": [[int(x) for x in col] for col in dependence_columns],
+        "bounds": [[int(lo), int(hi)] for lo, hi in bounds],
+        "primitives": (
+            None
+            if primitives is None
+            else [[int(x) for x in row] for row in primitives]
+        ),
+        "config": {k: config[k] for k in sorted(config)},
+        "blocks": int(blocks),
     }
     return fingerprint(payload)
 

@@ -15,6 +15,14 @@ Implements the design method of Definition 4.1 (Shang/Fortes [5,6], Li/Wah
 * :mod:`repro.mapping.engine` -- the design-space search engine (shared
   schedule enumeration, short-circuit feasibility with memoization, and
   process fan-out) behind the frozen :class:`SearchConfig`;
+* :mod:`repro.mapping.solver` -- Definition 4.1 as an integer constraint
+  system: the branch-and-prune candidate generator whose sound cuts make
+  the search enumerate orders of magnitude fewer candidates;
+* :mod:`repro.mapping.pareto` -- Pareto-frontier ranking over
+  (makespan, PE count, wire length) with deterministic merge;
+* :mod:`repro.mapping.shard` -- the work-queue sharding layer over the
+  shared artifact cache (block claims, partial frontiers, deterministic
+  merge);
 * :mod:`repro.mapping.designs` -- the paper's concrete designs: ``T`` of
   (4.2) with ``P, K`` of (4.3) (Fig. 4), ``T'`` of (4.6) with ``P', K'`` of
   (4.7) (Fig. 5), and the word-level baseline of Section 4.2.
@@ -41,6 +49,15 @@ from repro.mapping.engine import (
     search_designs,
     space_map_catalog,
 )
+from repro.mapping.pareto import (
+    METRIC_NAMES,
+    FrontierPoint,
+    design_wire_length,
+    dominates,
+    merge_frontiers,
+    pareto_frontier,
+)
+from repro.mapping.shard import ShardedSearchResult, run_sharded_search
 from repro.mapping.schedule import (
     execution_time,
     find_optimal_schedule,

@@ -41,6 +41,12 @@ from typing import Iterator, Sequence
 from repro import obs
 from repro.mapping.feasibility import FeasibilityReport, check_feasibility
 from repro.mapping.memo import EvalCache
+from repro.mapping.pareto import (
+    METRIC_NAMES,
+    FrontierPoint,
+    design_wire_length,
+    pareto_frontier,
+)
 from repro.mapping.schedule import execution_time, schedule_is_valid
 from repro.mapping.spacetime import processor_count
 from repro.mapping.transform import MappingMatrix
@@ -87,7 +93,28 @@ class SearchConfig:
         final ranking.  This bounds latency but can miss faster designs
         that appear later in catalog order; pass ``None`` (or
         ``max_candidates=None``) to scan the whole catalog.  The default
-        of 4 preserves the historical trade-off.
+        of 4 preserves the historical trade-off.  **Ignored under
+        ``frontier=``**: a Pareto frontier computed over an early-stopped
+        prefix could silently drop non-dominated designs that appear
+        later in catalog order, so frontier collection always scans the
+        whole space (``stop_after`` is ``None``).
+    strategy:
+        Candidate generation strategy.  ``"catalog"`` is the PR 2
+        enumerate-and-filter path; ``"solver"`` routes through the
+        branch-and-prune constraint solver (:mod:`repro.mapping.solver`),
+        which emits provably identical results while enumerating an
+        order of magnitude fewer candidates.  ``"auto"`` (default)
+        resolves to ``"solver"``.
+    frontier:
+        ``None`` (default) returns the single ranked list ordered by
+        ``(time, processors)``.  A non-empty tuple of metric names drawn
+        from :data:`~repro.mapping.pareto.METRIC_NAMES` (``"time"``,
+        ``"processors"``, ``"wire_length"``) instead returns the Pareto
+        frontier over those metrics, canonically ordered by
+        ``(metrics, rows)``.  Implies an exhaustive scan (see
+        ``overcollect``); ``max_candidates`` still truncates the
+        returned list -- pass ``max_candidates=None`` for the whole
+        frontier.
     persist_cache:
         Persist the run-scoped :class:`~repro.mapping.memo.EvalCache`
         across runs through the artifact store (:mod:`repro.cache`): the
@@ -106,11 +133,17 @@ class SearchConfig:
     workers: int = 1
     overcollect: int | None = 4
     persist_cache: bool | None = None
+    strategy: str = "auto"
+    frontier: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "block_values", tuple(int(b) for b in self.block_values)
         )
+        if self.frontier is not None:
+            object.__setattr__(
+                self, "frontier", tuple(str(m) for m in self.frontier)
+            )
         if self.target_space_dim < 1:
             raise ValueError("target_space_dim must be >= 1")
         if self.schedule_bound < 0:
@@ -121,10 +154,35 @@ class SearchConfig:
             raise ValueError("workers must be >= 1")
         if self.overcollect is not None and self.overcollect < 1:
             raise ValueError("overcollect must be >= 1 or None")
+        if self.strategy not in ("auto", "catalog", "solver"):
+            raise ValueError(
+                "strategy must be 'auto', 'catalog' or 'solver'"
+            )
+        if self.frontier is not None:
+            if not self.frontier:
+                raise ValueError("frontier must be a non-empty tuple or None")
+            unknown = [m for m in self.frontier if m not in METRIC_NAMES]
+            if unknown:
+                raise ValueError(
+                    f"unknown frontier metrics {unknown!r}; "
+                    f"choose from {METRIC_NAMES}"
+                )
+
+    @property
+    def resolved_strategy(self) -> str:
+        """The concrete generation strategy (``"auto"`` -> ``"solver"``)."""
+        return "solver" if self.strategy == "auto" else self.strategy
 
     @property
     def stop_after(self) -> int | None:
-        """Feasible-design count at which the scan stops early (or None)."""
+        """Feasible-design count at which the scan stops early (or None).
+
+        Always ``None`` in frontier mode: early-stopping on a *count* of
+        feasible designs could drop non-dominated points found later in
+        catalog order, so ``overcollect`` is a no-op under ``frontier=``.
+        """
+        if self.frontier is not None:
+            return None
         if self.max_candidates is None or self.overcollect is None:
             return None
         return self.max_candidates * self.overcollect
@@ -132,12 +190,18 @@ class SearchConfig:
 
 @dataclass
 class DesignCandidate:
-    """One feasible design produced by the search."""
+    """One feasible design produced by the search.
+
+    ``wire_length`` is the longest physical link the design needs
+    (:func:`~repro.mapping.pareto.design_wire_length`) -- the third axis
+    of the Pareto frontier alongside ``time`` and ``processors``.
+    """
 
     mapping: MappingMatrix
     time: int
     processors: int
     report: FeasibilityReport
+    wire_length: int = 0
 
     def __repr__(self) -> str:
         return (
@@ -262,6 +326,19 @@ class _EvalContext:
     schedules: list[tuple[int, tuple[int, ...]]]
     require_busy: bool
     cache: EvalCache
+    strategy: str = "catalog"
+    solver_ctx: object | None = None
+
+    def solver_context(self):
+        """The lazily built (and process-local) solver constraint tables."""
+        if self.solver_ctx is None:
+            from repro.mapping.solver import SolverContext
+
+            self.solver_ctx = SolverContext(
+                self.algorithm, self.binding, self.primitives,
+                self.schedules, self.require_busy, self.cache,
+            )
+        return self.solver_ctx
 
 
 def _evaluate_space(
@@ -275,7 +352,16 @@ def _evaluate_space(
     ``mapping.evaluate_space`` span -- the per-candidate trace unit that
     worker processes ship back in their registry deltas, so sequential and
     parallel runs produce the same span structure.
+
+    Under ``strategy="solver"`` the walk is delegated to
+    :func:`repro.mapping.solver.evaluate_space_solver`, which returns the
+    same ``(Π, report)`` for every space while discharging the cheap
+    Definition 4.1 conditions as cuts before the full check.
     """
+    if ctx.strategy == "solver":
+        from repro.mapping.solver import evaluate_space_solver
+
+        return evaluate_space_solver(space, ctx.solver_context())
     with obs.span("mapping.evaluate_space"):
         for _, pi in ctx.schedules:
             mapping = MappingMatrix(space + [list(pi)])
@@ -326,7 +412,7 @@ _WORKER_TELEMETRY: bool = False
 
 def _worker_init(payload: tuple) -> None:
     global _WORKER_CTX, _WORKER_TELEMETRY
-    (algorithm, binding, primitives, schedules, require_busy,
+    (algorithm, binding, primitives, schedules, require_busy, strategy,
      telemetry) = payload
     _WORKER_CTX = _EvalContext(
         algorithm=algorithm,
@@ -335,6 +421,7 @@ def _worker_init(payload: tuple) -> None:
         schedules=schedules,
         require_busy=require_busy,
         cache=EvalCache(),
+        strategy=strategy,
     )
     _WORKER_TELEMETRY = telemetry
 
@@ -398,6 +485,7 @@ def _iter_parallel(
         ctx.primitives,
         ctx.schedules,
         ctx.require_busy,
+        ctx.strategy,
         telemetry,
     )
     indexed = list(enumerate(spaces))
@@ -503,6 +591,7 @@ def run_search(
     ``config.workers`` value.
     """
     config = config if config is not None else SearchConfig()
+    strategy = config.resolved_strategy
     found: list[DesignCandidate] = []
     n = algorithm.dim
     with obs.span(
@@ -511,14 +600,12 @@ def run_search(
         target_space_dim=config.target_space_dim,
         schedule_bound=config.schedule_bound,
         workers=config.workers,
+        strategy=strategy,
     ):
         obs.gauge("mapping.workers", config.workers)
         schedules = ranked_schedules(algorithm, binding, config.schedule_bound)
         obs.gauge("mapping.schedule_pool", len(schedules))
         time_of = {pi: t for t, pi in schedules}
-        spaces = list(
-            _space_candidates(n, config.target_space_dim, config.block_values)
-        )
         ctx = _EvalContext(
             algorithm=algorithm,
             binding=binding,
@@ -526,6 +613,7 @@ def run_search(
             schedules=schedules,
             require_busy=config.require_busy,
             cache=EvalCache(),
+            strategy=strategy,
         )
         store = None
         if config.persist_cache is not False:
@@ -534,6 +622,20 @@ def run_search(
             store = resolve_cache(config.persist_cache, None)
             if store is not None:
                 _load_memo(store, ctx.cache)
+        if strategy == "solver":
+            from repro.mapping.solver import enumerate_spaces
+
+            spaces = enumerate_spaces(
+                ctx.solver_context(), config.target_space_dim,
+                config.block_values,
+            )
+        else:
+            spaces = list(
+                _space_candidates(
+                    n, config.target_space_dim, config.block_values
+                )
+            )
+        d_cols = [tuple(c) for c in algorithm.dependences.columns()]
         with obs.progress("mapping.spaces", total=len(spaces)) as progress:
             if config.workers <= 1 or len(spaces) <= 1 or not schedules:
                 feasible = _iter_sequential(
@@ -555,14 +657,44 @@ def run_search(
                             mapping, algorithm.index_set, binding
                         ),
                         report=report,
+                        wire_length=design_wire_length(
+                            report.interconnect, space, d_cols
+                        ),
                     )
                 )
-        found.sort(key=lambda c: (c.time, c.processors))
-        if config.max_candidates is not None:
-            found = found[:config.max_candidates]
+        found = _rank(found, config)
         obs.count("mapping.designs_found", len(found))
         if store is not None and ctx.cache.misses:
             _save_memo(store, ctx.cache)
+    return found
+
+
+def _rank(
+    found: list[DesignCandidate], config: SearchConfig
+) -> list[DesignCandidate]:
+    """Order (and truncate) the collected designs per the config.
+
+    Classic mode sorts by ``(time, processors)``; frontier mode keeps the
+    Pareto-non-dominated designs over the configured metrics, canonically
+    ordered by ``(metrics, rows)``.  Shared by :func:`run_search` and the
+    sharded coordinator so both produce identical output from the same
+    feasible stream.
+    """
+    if config.frontier is not None:
+        by_point = {
+            FrontierPoint(
+                metrics=tuple(getattr(c, m) for m in config.frontier),
+                rows=c.mapping.rows,
+            ): c
+            for c in found
+        }
+        frontier = pareto_frontier(by_point)
+        obs.count("mapping.frontier_size", len(frontier))
+        found = [by_point[pt] for pt in frontier]
+    else:
+        found.sort(key=lambda c: (c.time, c.processors))
+    if config.max_candidates is not None:
+        found = found[:config.max_candidates]
     return found
 
 

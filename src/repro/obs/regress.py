@@ -3,7 +3,9 @@
 The repo's performance story lives in the committed ``BENCH_*.json``
 baselines (batched analysis 16.5x over scalar, warm artifact cache 131x,
 wavefront simulation 23.7x, compiled kernels ~4x over wavefront,
-symbolic instantiation 500x over concrete enumeration).  Nothing re-checked them per PR: a change
+symbolic instantiation 500x over concrete enumeration, the solver-backed
+search enumerating ~100x fewer candidates than the catalog path on
+identical results).  Nothing re-checked them per PR: a change
 could quietly serialize the batched engine or break memoization and every
 test would stay green.  This module re-measures the smoke-scale versions
 of those ratios and fails when one drops below its requirement.
@@ -64,6 +66,7 @@ FLOORS = {
     "compiled_kernel": 3.0,
     "search_memo_hits": 1.0,
     "symbolic_instantiate": 20.0,
+    "design_search_solver": 3.0,
 }
 
 #: Where each check's committed baseline ratio lives: file -> key path.
@@ -78,6 +81,8 @@ BASELINE_KEYS = {
                         ("engine", "speedup_compiled_vs_wavefront")),
     "symbolic_instantiate": ("BENCH_symbolic.json",
                              ("speedup_symbolic_vs_concrete",)),
+    "design_search_solver": ("BENCH_design_search.json",
+                             ("solver", "candidates_ratio")),
 }
 
 #: Smoke-to-record scale compensation per check.  The wavefront speedup
@@ -93,6 +98,9 @@ SMOKE_SCALE = {
     # the recorded 500x is vs concrete enumeration at u=p=8; the smoke
     # re-measurement runs the cheaper u=p=6 where the ratio sits ~100x
     "symbolic_instantiate": 0.2,
+    # the recorded ~100x candidate reduction is at u=p=3; the smoke
+    # u=p=2 instance has far fewer schedules to cut, the ratio sits ~9x
+    "design_search_solver": 0.2,
 }
 
 
@@ -436,6 +444,55 @@ def _check_search(report: GateReport) -> None:
     ))
 
 
+def _check_search_solver(report: GateReport) -> None:
+    """Guard the solver's candidate-enumeration cut vs the catalog path.
+
+    Deterministic counter ratio, not wall clock: the enumerated-candidate
+    counts are exact for a fixed instance, so this check is immune to CI
+    timer noise while still catching any unsound weakening of the solver
+    (identical results are asserted alongside the ratio).
+    """
+    from repro.expansion.theorem31 import matmul_bit_level
+    from repro.mapping import designs
+    from repro.mapping.engine import SearchConfig, run_search
+
+    alg = matmul_bit_level(2, 2, "II")
+    binding = {"u": 2, "p": 2}
+    prims = designs.fig4_primitives(2)
+
+    def run(strategy):
+        config = SearchConfig(target_space_dim=2, block_values=[2],
+                              max_candidates=5, persist_cache=False,
+                              strategy=strategy)
+        with obs.collecting() as reg:
+            found = run_search(alg, binding, prims, config)
+        return found, reg.counters.get("mapping.candidates_enumerated", 0)
+
+    catalog, n_catalog = run("catalog")
+    solver, n_solver = run("solver")
+
+    def sig(cands):
+        return [
+            (c.mapping.rows, c.time, c.processors, c.wire_length)
+            for c in cands
+        ]
+
+    identical = sig(catalog) == sig(solver)
+    measured = n_catalog / max(n_solver, 1)
+    required, baseline = _required("design_search_solver", report.tolerance)
+    report.checks.append(GateCheck(
+        name="design_search_solver",
+        metric="candidates_ratio_catalog_vs_solver",
+        measured=measured,
+        required=required,
+        floor=FLOORS["design_search_solver"],
+        baseline=baseline,
+        passed=measured >= required and identical and bool(solver),
+        detail=(f"u=p=2: catalog enumerated {n_catalog}, solver {n_solver}, "
+                f"identical={identical}"),
+    ))
+
+
 # -- orchestration ------------------------------------------------------------
 
 def run_gate(
@@ -456,6 +513,7 @@ def run_gate(
     _check_compiled(report, repeats, inject_slowdown_s)
     _check_symbolic(report, repeats, inject_slowdown_s)
     _check_search(report)
+    _check_search_solver(report)
     if history_path is not None:
         record = {"timestamp": time.time(), **report.as_dict()}
         try:

@@ -304,34 +304,86 @@ def _handle_search(spec: JobSpec, out, verbose: bool):
         max_candidates=None if spec.exhaustive else spec.max_candidates,
         workers=spec.workers,
         overcollect=None if spec.exhaustive else spec.overcollect,
+        strategy=spec.strategy,
+        frontier=spec.frontier,
     )
-    candidates = run_search(alg, binding, primitives, config)
-    if not candidates:
+    sharded = None
+    if spec.shard_workers is not None:
+        from repro.mapping.shard import run_sharded_search
+
+        sharded = run_sharded_search(
+            alg, binding, primitives, config,
+            workers=spec.shard_workers, shard_dir=spec.shard_dir,
+        )
+        records = sharded.designs
+        scope = f"shard_workers={sharded.workers}, blocks={sharded.blocks}"
+    else:
+        found = run_search(alg, binding, primitives, config)
+        records = [
+            {
+                "rows": [list(r) for r in c.mapping.rows],
+                "time": c.time,
+                "processors": c.processors,
+                "wire_length": c.wire_length,
+            }
+            for c in found
+        ]
+        scope = f"workers={config.workers}"
+    if not records:
         print("no feasible design within the search bounds", file=out)
         return 1, {"candidates": []}
-    rows = [
-        (i + 1, c.time, c.processors,
-         "; ".join(str(list(r)) for r in c.mapping.rows))
-        for i, c in enumerate(candidates)
-    ]
-    print(format_table(
-        ["rank", "time", "PEs", "T = [S; Π]"],
-        rows,
-        title=(f"design-space search: bit-level matmul "
-               f"(u={spec.u}, p={spec.p}, primitives={spec.primitives}, "
-               f"workers={config.workers})"),
-    ), file=out)
-    return 0, {
+    if spec.frontier is not None:
+        headers = ["rank", "time", "PEs", "wire", "T = [S; Π]"]
+        rows = [
+            (i + 1, d["time"], d["processors"], d["wire_length"],
+             "; ".join(str(list(r)) for r in d["rows"]))
+            for i, d in enumerate(records)
+        ]
+        title = (f"Pareto frontier ({', '.join(spec.frontier)}): "
+                 f"bit-level matmul (u={spec.u}, p={spec.p}, "
+                 f"primitives={spec.primitives}, {scope})")
+    else:
+        headers = ["rank", "time", "PEs", "T = [S; Π]"]
+        rows = [
+            (i + 1, d["time"], d["processors"],
+             "; ".join(str(list(r)) for r in d["rows"]))
+            for i, d in enumerate(records)
+        ]
+        title = (f"design-space search: bit-level matmul "
+                 f"(u={spec.u}, p={spec.p}, primitives={spec.primitives}, "
+                 f"{scope})")
+    print(format_table(headers, rows, title=title), file=out)
+    data: dict = {
         "candidates": [
             {
                 "rank": i + 1,
-                "time": c.time,
-                "processors": c.processors,
-                "rows": [list(r) for r in c.mapping.rows],
+                "time": d["time"],
+                "processors": d["processors"],
+                "wire_length": d["wire_length"],
+                "rows": [list(r) for r in d["rows"]],
             }
-            for i, c in enumerate(candidates)
+            for i, d in enumerate(records)
         ]
     }
+    if spec.frontier is not None:
+        data["frontier"] = (
+            sharded.frontier
+            if sharded is not None
+            else [
+                {
+                    "metrics": [d[m] for m in spec.frontier],
+                    "rows": [list(r) for r in d["rows"]],
+                }
+                for d in records
+            ]
+        )
+    if sharded is not None:
+        data["shard"] = {
+            "run_key": sharded.run_key,
+            "blocks": sharded.blocks,
+            "metrics": sharded.metrics,
+        }
+    return 0, data
 
 
 def _handle_simulate(spec: JobSpec, out, verbose: bool):

@@ -22,7 +22,7 @@ analyze_symbolic  ``u p expansion cache cache_dir`` (the parametric
                   instantiated at the spec's concrete sizes in O(1))
 search            ``u p expansion target_space_dim block schedule_bound
                   max_candidates workers overcollect exhaustive
-                  primitives``
+                  primitives strategy frontier shard_workers shard_dir``
 simulate          ``u p expansion design seed sim_backend gantt``
 verify            ``seed cases oracle_budget_s oracles``
 ================  =======================================================
@@ -84,6 +84,10 @@ class JobSpec:
     overcollect: int | None = 4
     exhaustive: bool = False
     primitives: str = "fig4"
+    strategy: str = "auto"
+    frontier: tuple[str, ...] | None = None
+    shard_workers: int | None = None
+    shard_dir: str | None = None
     # -- simulate ------------------------------------------------------------
     design: str = "fig4"
     seed: int = 0
@@ -111,6 +115,10 @@ class JobSpec:
             raise ValueError(f"unknown design {self.design!r}")
         if self.primitives not in ("fig4", "fig5", "mesh", "none"):
             raise ValueError(f"unknown primitive set {self.primitives!r}")
+        if self.strategy not in ("auto", "catalog", "solver"):
+            raise ValueError(f"unknown search strategy {self.strategy!r}")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1 or None")
         if self.cases is not None and self.cases < 1:
             raise ValueError("cases must be >= 1 or None")
         if self.budget_s is not None and self.budget_s <= 0:
@@ -123,6 +131,19 @@ class JobSpec:
             object.__setattr__(
                 self, "oracles", tuple(str(o) for o in self.oracles)
             )
+        if self.frontier is not None:
+            frontier = tuple(str(m) for m in self.frontier)
+            bad = sorted(
+                set(frontier) - {"time", "processors", "wire_length"}
+            )
+            if not frontier or bad:
+                raise ValueError(
+                    "frontier must be a non-empty subset of "
+                    "('time', 'processors', 'wire_length')"
+                )
+            object.__setattr__(self, "frontier", frontier)
+        if self.shard_dir is not None:
+            object.__setattr__(self, "shard_dir", str(self.shard_dir))
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
 

@@ -15,7 +15,10 @@ against independent implementations on randomized inputs:
 * :mod:`repro.verify.oracle_mapping` -- Definition 4.1 feasibility verdicts
   vs. exhaustive per-condition rechecking on the concrete index set;
 * :mod:`repro.verify.oracle_simulator` -- bit-level machine executions vs.
-  word-level reference products (signed and Baugh-Wooley paths included).
+  word-level reference products (signed and Baugh-Wooley paths included);
+* :mod:`repro.verify.oracle_search` -- the branch-and-prune search solver
+  vs. the exhaustive catalog search: identical feasible sets and rankings
+  on randomized instances.
 
 Entry points: ``python -m repro verify`` on the command line,
 :func:`run_verification` / :func:`run_mutation_check` programmatically.
@@ -27,12 +30,14 @@ from repro.verify.generator import (
     HAVE_HYPOTHESIS,
     AnalysisCase,
     MappingCase,
+    SearchCase,
     SimulatorCase,
     SizeEnvelope,
     SymbolicCase,
     Theorem31Case,
     gen_analysis_case,
     gen_mapping_case,
+    gen_search_case,
     gen_simulator_case,
     gen_symbolic_case,
     gen_theorem31_case,
@@ -40,9 +45,11 @@ from repro.verify.generator import (
 from repro.verify.report import Counterexample, OracleOutcome, VerifyReport
 from repro.verify.runner import (
     ORACLES,
+    SEARCH_MUTATIONS,
     SYMBOLIC_MUTATIONS,
     VerifyConfig,
     run_mutation_check,
+    run_search_mutation_check,
     run_symbolic_mutation_check,
     run_verification,
 )
@@ -55,21 +62,25 @@ __all__ = [
     "Theorem31Case",
     "AnalysisCase",
     "MappingCase",
+    "SearchCase",
     "SimulatorCase",
     "SymbolicCase",
     "gen_theorem31_case",
     "gen_analysis_case",
     "gen_mapping_case",
+    "gen_search_case",
     "gen_simulator_case",
     "gen_symbolic_case",
     "Counterexample",
     "OracleOutcome",
     "VerifyReport",
     "ORACLES",
+    "SEARCH_MUTATIONS",
     "SYMBOLIC_MUTATIONS",
     "VerifyConfig",
     "run_verification",
     "run_mutation_check",
+    "run_search_mutation_check",
     "run_symbolic_mutation_check",
     "shrink",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "Theorem31Case",
     "AnalysisCase",
     "MappingCase",
+    "SearchCase",
     "SimulatorCase",
     "SymbolicCase",
     "lex_positive",
@@ -48,6 +49,7 @@ __all__ = [
     "gen_theorem31_case",
     "gen_analysis_case",
     "gen_mapping_case",
+    "gen_search_case",
     "gen_simulator_case",
     "gen_symbolic_case",
     "word_vector_strategy",
@@ -568,6 +570,133 @@ def gen_mapping_case(
         rows = _random_rows(rng, k, n, env.mapping_entry_bound)
     primitives = rng.choice(("none", "mesh", "mesh"))
     return replace(case, rows=rows, primitives=primitives)
+
+
+# ---------------------------------------------------------------------------
+# Search cases (solver-vs-catalog differential)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SearchCase:
+    """One design-space search instance for the solver/catalog oracle.
+
+    ``kind`` selects the algorithm exactly as :class:`MappingCase` does
+    (``"word"`` rebuilds via ``word_model_structure``, ``"bitlevel"`` via
+    ``matmul_bit_level``); the remaining fields are the
+    :class:`~repro.mapping.engine.SearchConfig` knobs under test.  Word
+    cases run exhaustively (``max_candidates=None``), so the oracle
+    compares true feasible *sets*; bit-level cases are capped
+    (``max_candidates``/``overcollect``) and compare the identical
+    ranked prefix both strategies must produce.
+    """
+
+    kind: str
+    #: "none" | "mesh" | "fig4"
+    primitives: str
+    target_space_dim: int
+    block: tuple[int, ...]
+    schedule_bound: int
+    max_candidates: int | None = None
+    overcollect: int | None = None
+    h1: tuple[int, ...] = ()
+    h2: tuple[int, ...] = ()
+    h3: tuple[int, ...] = ()
+    lowers: tuple[int, ...] = ()
+    uppers: tuple[int, ...] = ()
+    u: int = 0
+    p: int = 0
+    expansion: str = "II"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def build(self):
+        """Rebuild ``(algorithm, binding, primitives)`` objects."""
+        from repro.expansion.theorem31 import matmul_bit_level
+        from repro.ir.builders import word_model_structure
+        from repro.mapping import designs
+        from repro.mapping.interconnect import mesh_primitives
+
+        if self.kind == "word":
+            alg = word_model_structure(
+                self.h1, self.h2, self.h3, self.lowers, self.uppers
+            )
+            binding: dict[str, int] = {}
+        elif self.kind == "bitlevel":
+            alg = matmul_bit_level(self.u, self.p, self.expansion)
+            binding = {"u": self.u, "p": self.p}
+        else:
+            raise ValueError(f"unknown search-case kind {self.kind!r}")
+        prims = {
+            "none": lambda: None,
+            "mesh": lambda: mesh_primitives(self.target_space_dim),
+            "fig4": lambda: designs.fig4_primitives(self.p or 2),
+        }[self.primitives]()
+        return alg, binding, prims
+
+    def config(self, strategy: str):
+        """The :class:`SearchConfig` for one strategy under test."""
+        from repro.mapping.engine import SearchConfig
+
+        return SearchConfig(
+            target_space_dim=self.target_space_dim,
+            block_values=self.block,
+            schedule_bound=self.schedule_bound,
+            max_candidates=self.max_candidates,
+            overcollect=self.overcollect,
+            strategy=strategy,
+            persist_cache=False,
+        )
+
+    def shrink_candidates(self) -> Iterator["SearchCase"]:
+        if self.kind == "word":
+            for axis, hi in enumerate(self.uppers):
+                for smaller in _shrink_int(hi, self.lowers[axis]):
+                    uppers = list(self.uppers)
+                    uppers[axis] = smaller
+                    yield replace(self, uppers=tuple(uppers))
+        elif self.kind == "bitlevel":
+            for smaller in _shrink_int(self.u, 2):
+                yield replace(self, u=smaller)
+            for smaller in _shrink_int(self.p, 2):
+                yield replace(self, p=smaller)
+        for smaller in _shrink_int(self.schedule_bound, 1):
+            yield replace(self, schedule_bound=smaller)
+        if self.primitives != "none":
+            yield replace(self, primitives="none")
+
+
+def gen_search_case(
+    rng: random.Random, env: SizeEnvelope = SizeEnvelope()
+) -> SearchCase:
+    """Draw a random search case: word exhaustive, or bit-level capped."""
+    if rng.random() < 0.6:
+        dim = rng.choice((2, 3))
+        return SearchCase(
+            kind="word",
+            h1=random_word_vector(rng, dim, 1),
+            h2=random_word_vector(rng, dim, 1),
+            h3=random_word_vector(rng, dim, 1),
+            lowers=(1,) * dim,
+            uppers=tuple(rng.randint(2, 3) for _ in range(dim)),
+            primitives=rng.choice(("none", "mesh")),
+            target_space_dim=dim - 1,
+            block=(2,),
+            schedule_bound=rng.choice((1, 2)),
+            max_candidates=None,
+            overcollect=None,
+        )
+    return SearchCase(
+        kind="bitlevel",
+        u=2,
+        p=2,
+        primitives=rng.choice(("none", "mesh", "fig4")),
+        target_space_dim=2,
+        block=(2,),
+        schedule_bound=2,
+        max_candidates=3,
+        overcollect=2,
+    )
 
 
 # ---------------------------------------------------------------------------

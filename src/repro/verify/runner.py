@@ -25,6 +25,7 @@ from repro import obs
 from repro.verify import (
     oracle_analysis,
     oracle_mapping,
+    oracle_search,
     oracle_simulator,
     oracle_symbolic,
     oracle_theorem31,
@@ -35,10 +36,12 @@ from repro.verify.shrink import shrink
 
 __all__ = [
     "ORACLES",
+    "SEARCH_MUTATIONS",
     "SYMBOLIC_MUTATIONS",
     "VerifyConfig",
     "run_verification",
     "run_mutation_check",
+    "run_search_mutation_check",
     "run_symbolic_mutation_check",
 ]
 
@@ -47,7 +50,7 @@ ORACLES = {
     module.NAME: module
     for module in (
         oracle_theorem31, oracle_analysis, oracle_symbolic,
-        oracle_mapping, oracle_simulator,
+        oracle_mapping, oracle_simulator, oracle_search,
     )
 }
 
@@ -63,7 +66,8 @@ class VerifyConfig:
     budget_s: float | None = None
     #: which oracles to run, in order
     oracles: Sequence[str] = (
-        "theorem31", "analysis", "symbolic", "mapping", "simulator"
+        "theorem31", "analysis", "symbolic", "mapping", "simulator",
+        "search",
     )
     envelope: SizeEnvelope = field(default_factory=SizeEnvelope)
     max_shrink_steps: int = 200
@@ -241,6 +245,97 @@ SYMBOLIC_MUTATIONS = {
         _mutant_shifted_bounds,
     ),
 }
+
+
+def _mutant_hop_budget(deadline: int) -> int:
+    """Seeded bug: an *unsound* interconnect cut -- one hop less than the
+    arrival deadline (4.1) actually permits.
+
+    Designs whose dependences need exactly ``Π d̄_i`` hops (the paper's
+    Fig. 4 family among them) get pruned before the final gate, so the
+    solver's feasible set loses designs the catalog still finds: the
+    differential oracle must report a missing design.
+    """
+    return deadline - 1
+
+
+def _mutant_final_gate(mapping, algorithm, binding, primitives, cache):
+    """Seeded bug: the final gate ignores condition 3 (computational
+    conflicts), as if the solver's one-sided conflict screen were treated
+    as exact.
+
+    Candidates whose only violation is a ``τ`` collision now pass, so the
+    solver admits designs the catalog rejects: the differential oracle
+    must report an extra design.
+    """
+    import dataclasses
+
+    from repro.mapping.feasibility import check_feasibility
+
+    report = check_feasibility(
+        mapping, algorithm, binding, primitives, cache=cache
+    )
+    if report.conflict_free is False:
+        report = dataclasses.replace(
+            report, conflict_free=True, conflicts=[]
+        )
+    return report
+
+
+#: mutation name -> (module path, attribute, mutant callable)
+SEARCH_MUTATIONS = {
+    "tight-deadline": (
+        "repro.mapping.solver", "_hop_budget", _mutant_hop_budget,
+    ),
+    "dropped-conflict-gate": (
+        "repro.mapping.solver", "_final_gate", _mutant_final_gate,
+    ),
+}
+
+
+def run_search_mutation_check(
+    mutation: str = "tight-deadline",
+    seed: int = 0,
+    cases: int = 30,
+    envelope: SizeEnvelope = SizeEnvelope(),
+    max_shrink_steps: int = 200,
+) -> Counterexample | None:
+    """Self-test: seed a deliberate bug into the search solver's cuts and
+    confirm the solver-vs-catalog differential oracle catches it.
+
+    ``mutation`` names an entry of :data:`SEARCH_MUTATIONS`.  Returns the
+    shrunken counterexample (the *expected* outcome), or ``None`` if the
+    mutant survived the run -- the oracle has lost its teeth.
+    """
+    import importlib
+
+    try:
+        module_path, attr, mutant = SEARCH_MUTATIONS[mutation]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {mutation!r}; "
+            f"choose from {sorted(SEARCH_MUTATIONS)}"
+        ) from None
+    target = importlib.import_module(module_path)
+    real = getattr(target, attr)
+    setattr(target, attr, mutant)
+    try:
+        config = VerifyConfig(
+            seed=seed,
+            cases=cases,
+            oracles=("search",),
+            envelope=envelope,
+            max_shrink_steps=max_shrink_steps,
+            max_counterexamples=1,
+        )
+        report = run_verification(config)
+        obs.count(
+            "verify.search_mutation.caught",
+            int(bool(report.counterexamples)),
+        )
+        return report.counterexamples[0] if report.counterexamples else None
+    finally:
+        setattr(target, attr, real)
 
 
 def run_symbolic_mutation_check(

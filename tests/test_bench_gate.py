@@ -37,13 +37,14 @@ class TestGateRuns:
             "analysis_batched", "analysis_cache_warm",
             "simulator_wavefront", "compiled_kernel",
             "search_memo_hits", "symbolic_instantiate",
+            "design_search_solver",
         }
         (record,) = [
             json.loads(line) for line in history.read_text().splitlines()
         ]
         assert record["ok"] is True
         assert record["timestamp"] > 0
-        assert len(record["checks"]) == 6
+        assert len(record["checks"]) == 7
         assert "environment" in record
 
     def test_injected_slowdown_fails(self, tmp_path):
